@@ -1,0 +1,89 @@
+// Command experiments regenerates the paper-reproduction tables
+// (DESIGN.md §4, results recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments                 # full suite, markdown to stdout
+//	experiments -run E1,E5      # selected experiments
+//	experiments -quick -seeds 4 # smaller sweeps
+//	experiments -csv out/       # also write one CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fnr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		runList = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		quick   = flag.Bool("quick", false, "small sweeps (smoke mode)")
+		seeds   = flag.Int("seeds", 0, "trials per configuration (0 = default)")
+		workers = flag.Int("workers", 0, "parallel trials (0 = GOMAXPROCS)")
+		preset  = flag.String("params", "practical", "constant preset: practical|paper")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSVs")
+	)
+	flag.Parse()
+
+	cfg := fnr.ExperimentConfig{Quick: *quick, Seeds: *seeds, Workers: *workers}
+	switch *preset {
+	case "practical":
+		cfg.Params = fnr.PracticalParams()
+	case "paper":
+		cfg.Params = fnr.PaperParams()
+	default:
+		log.Fatalf("unknown preset %q", *preset)
+	}
+
+	var selected []fnr.Experiment
+	if *runList == "all" {
+		selected = fnr.Experiments()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := fnr.ExperimentByID(id)
+			if !ok {
+				log.Fatalf("unknown experiment %q", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tb, err := e.Run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Println(tb.Render())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tb.WriteCSV(f); err != nil {
+				f.Close()
+				log.Fatalf("%s: writing csv: %v", e.ID, err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Command rendezvous runs one neighborhood-rendezvous simulation and
+// prints the outcome.
+//
+// Usage:
+//
+//	rendezvous -graph planted -n 1024 -d 181 -algo whiteboard -seed 7
+//	rendezvous -graph complete -n 256 -algo birthday
+//	rendezvous -hard kt0 -n 256 -algo walkpair
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+
+	"fnr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rendezvous: ")
+	var (
+		graphKind = flag.String("graph", "planted", "graph family: planted|complete|ring|star|hypercube|torus|regular|gnp")
+		hardKind  = flag.String("hard", "", "lower-bound instance instead of -graph: twostars|starclique|kt0|dist2|det")
+		n         = flag.Int("n", 256, "number of vertices (dimension for hypercube)")
+		d         = flag.Int("d", 0, "degree parameter (planted/regular; default n^0.75)")
+		p         = flag.Float64("p", 0.1, "edge probability for gnp")
+		algoName  = flag.String("algo", "whiteboard", "algorithm: whiteboard|noboard|sweep|dfs|staywalk|walkpair|birthday")
+		seed      = flag.Uint64("seed", 1, "random seed (graph and agents)")
+		maxRounds = flag.Int64("max-rounds", 0, "round budget (0 = 4n²+1000)")
+		preset    = flag.String("params", "practical", "constant preset: practical|paper")
+		delta     = flag.Int("delta", 0, "min degree known to agents (0 = doubling estimation / graph's δ for noboard)")
+		trace     = flag.Bool("trace", false, "print agent positions every round")
+	)
+	flag.Parse()
+
+	if *algoName == "detpair" {
+		// The deterministic greedy-sweep pair the Theorem-6 adversary
+		// defends against; only meaningful with -hard det.
+		runDetPair(*hardKind, *n)
+		return
+	}
+	algo, err := fnr.ParseAlgorithm(*algoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := fnr.PracticalParams()
+	switch *preset {
+	case "practical":
+	case "paper":
+		params = fnr.PaperParams()
+	default:
+		log.Fatalf("unknown preset %q", *preset)
+	}
+
+	g, sa, sb, kt0, err := buildInstance(*graphKind, *hardKind, *n, *d, *p, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance: %v, start a=%d (ID %d), b=%d (ID %d), dist=%d\n",
+		g, sa, g.ID(sa), sb, g.ID(sb), fnr.Dist(g, sa, sb))
+
+	opt := fnr.Options{
+		Seed:      *seed,
+		MaxRounds: *maxRounds,
+		Params:    params,
+		Delta:     *delta,
+	}
+	if algo == fnr.AlgNoWhiteboard && opt.Delta == 0 {
+		opt.Delta = g.MinDegree()
+	}
+	if *trace {
+		opt.Observer = func(ev fnr.RoundEvent) {
+			fmt.Printf("round %8d: a=%d b=%d (×%d)\n", ev.Round, ev.PosA, ev.PosB, ev.Skipped)
+		}
+	}
+	if kt0 && (algo == fnr.AlgWhiteboard || algo == fnr.AlgNoWhiteboard || algo == fnr.AlgSweep || algo == fnr.AlgDFS || algo == fnr.AlgBirthday) {
+		log.Printf("warning: %v needs neighbor IDs but the %s instance is a KT0 lower bound; it will fail fast", algo, *hardKind)
+	}
+	if *hardKind == "det" {
+		log.Printf("note: the det instance defends against the deterministic greedy-sweep pair; use -algo detpair to see the ≥ n/32 hold-off")
+	}
+
+	res, err := fnr.Rendezvous(g, sa, sb, algo, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Met {
+		fmt.Printf("rendezvous at round %d on vertex %d (ID %d)\n", res.MeetRound, res.MeetVertex, g.ID(res.MeetVertex))
+	} else {
+		fmt.Printf("no rendezvous within %d rounds\n", res.Rounds)
+		defer os.Exit(1)
+	}
+	fmt.Printf("agent a: %d moves, %d stays, halted=%v\n", res.A.Moves, res.A.Stays, res.A.Halted)
+	fmt.Printf("agent b: %d moves, %d stays, halted=%v\n", res.B.Moves, res.B.Stays, res.B.Halted)
+	fmt.Printf("whiteboard writes: %d\n", res.Writes)
+}
+
+func runDetPair(hardKind string, n int) {
+	if hardKind != "det" {
+		log.Fatal("-algo detpair requires -hard det")
+	}
+	inst, err := fnr.HardInstance(fnr.HardDeterministic, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance: %v\n%s\n", inst.G, inst.Note)
+	a, b := fnr.SweepAgentsForInstance()
+	res, err := fnr.RunPrograms(fnr.SimConfig{
+		Graph: inst.G, StartA: inst.StartA, StartB: inst.StartB,
+		NeighborIDs: true, MaxRounds: int64(8 * n),
+	}, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Met {
+		fmt.Printf("met at round %d (theorem guarantees ≥ %d)\n", res.MeetRound, inst.LowerBound)
+	} else {
+		fmt.Printf("no rendezvous within %d rounds (theorem guarantees ≥ %d)\n", res.Rounds, inst.LowerBound)
+	}
+}
+
+func buildInstance(graphKind, hardKind string, n, d int, p float64, seed uint64) (g *fnr.Graph, sa, sb fnr.Vertex, kt0 bool, err error) {
+	if hardKind != "" {
+		var kind fnr.HardKind
+		switch hardKind {
+		case "twostars":
+			kind = fnr.HardTwoStars
+		case "starclique":
+			kind = fnr.HardStarClique
+		case "kt0":
+			kind = fnr.HardKT0
+		case "dist2":
+			kind = fnr.HardDistance2
+		case "det":
+			kind = fnr.HardDeterministic
+		default:
+			return nil, 0, 0, false, fmt.Errorf("unknown hard instance %q", hardKind)
+		}
+		inst, err := fnr.HardInstance(kind, n)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		return inst.G, inst.StartA, inst.StartB, inst.KT0, nil
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xfeed))
+	if d == 0 {
+		d = depthDefault(n)
+	}
+	switch graphKind {
+	case "planted":
+		g, err = fnr.PlantedMinDegree(n, d, rng)
+	case "complete":
+		g, err = fnr.Complete(n)
+	case "ring":
+		g, err = fnr.Ring(n)
+	case "star":
+		g, err = fnr.Star(n)
+	case "hypercube":
+		g, err = fnr.Hypercube(n)
+	case "torus":
+		side := 3
+		for side*side < n {
+			side++
+		}
+		g, err = fnr.Torus(side, side)
+	case "regular":
+		g, err = fnr.RandomRegular(n, d, rng)
+	case "gnp":
+		g, err = fnr.GNP(n, p, rng)
+	default:
+		err = fmt.Errorf("unknown graph family %q", graphKind)
+	}
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	sa = fnr.Vertex(rng.IntN(g.N()))
+	for g.Degree(sa) == 0 {
+		sa = fnr.Vertex(rng.IntN(g.N()))
+	}
+	adj := g.Adj(sa)
+	sb = adj[rng.IntN(len(adj))]
+	return g, sa, sb, false, nil
+}
+
+func depthDefault(n int) int {
+	d := 2
+	for d*d*d*d < n*n*n { // d ≈ n^0.75
+		d++
+	}
+	return d
+}

@@ -1,0 +1,54 @@
+package fnr_test
+
+import (
+	"fmt"
+	"log"
+
+	"fnr"
+)
+
+// The trivial O(∆) baseline on a complete graph: agent a waits while
+// agent b sweeps its neighborhood in port order; the agents start
+// adjacent, so b finds a on its first probe.
+func ExampleRendezvous() {
+	g, err := fnr.Complete(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fnr.Rendezvous(g, 0, 1, fnr.AlgSweep, fnr.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("met:", res.Met, "round:", res.MeetRound, "vertex:", res.MeetVertex)
+	// Output: met: true round: 1 vertex: 0
+}
+
+// Custom agents are ordinary functions against fnr.Env; every movement
+// call costs one synchronous round.
+func ExampleRunPrograms() {
+	g, err := fnr.Ring(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chaser := func(e *fnr.Env) {
+		for {
+			next := (e.HereID() + 1) % e.NPrime()
+			if err := e.MoveToID(next); err != nil {
+				return
+			}
+		}
+	}
+	waiter := func(e *fnr.Env) {
+		for {
+			e.Stay()
+		}
+	}
+	res, err := fnr.RunPrograms(fnr.SimConfig{
+		Graph: g, StartA: 0, StartB: 3, NeighborIDs: true, MaxRounds: 10,
+	}, chaser, waiter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("met at round", res.MeetRound)
+	// Output: met at round 3
+}

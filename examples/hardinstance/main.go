@@ -1,0 +1,123 @@
+// Hardinstance: the paper's four impossibility results made tangible.
+// Each §5 lower bound comes with a concrete graph family; this example
+// builds one instance per family, runs an appropriate strategy, and
+// shows the Ω(·) wall in the measured round counts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fnr"
+)
+
+func main() {
+	demoTwoStars()
+	demoKT0()
+	demoDistance2()
+	demoDeterministic()
+}
+
+func demoTwoStars() {
+	// Theorem 3 / Fig. 1(a): two stars with adjacent centers. δ = 1 is
+	// far below √n, and every strategy pays Ω(∆) to find the
+	// center-center edge among ∆ identical-looking ports.
+	inst, err := fnr.HardInstance(fnr.HardTwoStars, 514)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("— Theorem 3 (min degree): %v\n  %s\n", inst.G, inst.Note)
+	res, err := fnr.Rendezvous(inst.G, inst.StartA, inst.StartB, fnr.AlgStayWalk, fnr.Options{Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  stay+walk met at round %d — Θ(∆) = Θ(%d), not sublinear\n\n", res.MeetRound, inst.G.MaxDegree())
+}
+
+func demoKT0() {
+	// Theorem 4 / Fig. 2: two bridged cliques, run WITHOUT neighbor
+	// IDs. The two bridge ports are indistinguishable from the
+	// n/2-2 clique ports, so nothing beats Ω(n).
+	inst, err := fnr.HardInstance(fnr.HardKT0, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("— Theorem 4 (no neighbor IDs): %v\n  %s\n", inst.G, inst.Note)
+	res, err := fnr.RunPrograms(fnr.SimConfig{
+		Graph: inst.G, StartA: inst.StartA, StartB: inst.StartB,
+		NeighborIDs: false, // the KT0 model: ports carry no IDs
+		Seed:        4, MaxRounds: int64(inst.G.N()) * int64(inst.G.N()),
+	}, walkProgram(), walkProgram())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  two random walkers met at round %d — Θ(n) = Θ(%d)\n\n", res.MeetRound, inst.G.N())
+}
+
+func demoDistance2() {
+	// Theorem 5 / Fig. 3: two cliques sharing a single vertex; the
+	// agents start at distance TWO. The paper's whiteboard algorithm
+	// assumes distance one and simply cannot finish here.
+	inst, err := fnr.HardInstance(fnr.HardDistance2, 257)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("— Theorem 5 (initial distance 2): %v\n  %s\n", inst.G, inst.Note)
+	budget := int64(inst.G.N()) * 64
+	res, err := fnr.Rendezvous(inst.G, inst.StartA, inst.StartB, fnr.AlgWhiteboard, fnr.Options{
+		Seed: 4, Delta: inst.G.MinDegree(), MaxRounds: budget,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Met {
+		fmt.Printf("  Theorem-1 algorithm met at round %d (incidental collision — possible but unreliable)\n", res.MeetRound)
+	} else {
+		fmt.Printf("  Theorem-1 algorithm: NO rendezvous in %d rounds — its distance-1 assumption is load-bearing\n", res.Rounds)
+	}
+	walk, err := fnr.Rendezvous(inst.G, inst.StartA, inst.StartB, fnr.AlgWalkPair, fnr.Options{Seed: 4, MaxRounds: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  random-walk pair met at round %d — Θ(n) remains the honest price\n\n", walk.MeetRound)
+}
+
+func demoDeterministic() {
+	// Theorem 6 / Lemma 9: an adaptive adversary grows the graph in
+	// response to a deterministic algorithm's moves, then glues two
+	// such constructions into one instance on which the pair provably
+	// cannot meet for n/32 rounds.
+	inst, err := fnr.HardInstance(fnr.HardDeterministic, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("— Theorem 6 (deterministic algorithms): %v\n  %s\n", inst.G, inst.Note)
+	a, b := fnr.SweepAgentsForInstance()
+	res, err := fnr.RunPrograms(fnr.SimConfig{
+		Graph: inst.G, StartA: inst.StartA, StartB: inst.StartB,
+		NeighborIDs: true, MaxRounds: int64(8 * inst.G.N()),
+	}, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Met && res.MeetRound < inst.LowerBound {
+		log.Fatalf("  IMPOSSIBLE: met at %d < %d", res.MeetRound, inst.LowerBound)
+	}
+	outcome := "never met at all"
+	if res.Met {
+		outcome = fmt.Sprintf("first met at round %d", res.MeetRound)
+	}
+	fmt.Printf("  deterministic sweep pair held off ≥ %d rounds as proven (%s within the 8n budget)\n",
+		inst.LowerBound, outcome)
+}
+
+// walkProgram returns a fresh KT0-compatible uniform random walker.
+func walkProgram() fnr.Program {
+	return func(e *fnr.Env) {
+		for {
+			if err := e.MoveToPort(e.Rand().IntN(e.Degree())); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Noboard: Theorem 2's rendezvous without whiteboards. A sensor
+// network with tightly named nodes (IDs exactly 0..n-1) cannot offer
+// shared storage, so the agents synchronize purely through the global
+// clock and the ID space: both derive the same phase schedule from
+// (n', δ), sample probe sets Φ, and sweep ID intervals in lockstep.
+//
+// The run executes with whiteboards ENABLED in the simulator and then
+// asserts the algorithm performed zero writes — certifying the
+// "without whiteboards" claim, not just assuming it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"fnr"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(7, 11))
+	g, err := fnr.PlantedMinDegree(512, 148, rng) // δ ≈ n^0.8
+	if err != nil {
+		log.Fatal(err)
+	}
+	startA := fnr.Vertex(rng.IntN(g.N()))
+	startB := g.Adj(startA)[0]
+	fmt.Printf("network: %v (tight naming: IDs are exactly 0..%d)\n", g, g.N()-1)
+
+	st := &fnr.NoboardStats{}
+	res, err := fnr.Rendezvous(g, startA, startB, fnr.AlgNoWhiteboard, fnr.Options{
+		Seed:         13,
+		Delta:        g.MinDegree(),
+		NoboardStats: st,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Met {
+		log.Fatalf("no rendezvous within %d rounds", res.Rounds)
+	}
+	fmt.Printf("rendezvous at round %d on vertex ID %d\n", res.MeetRound, g.ID(res.MeetVertex))
+	if st.TPrime > 0 {
+		fmt.Printf("schedule: t' = %d, %d phases of %d rounds\n", st.TPrime, st.Phases, st.PhaseLen)
+		fmt.Printf("probe sets: |Φa| = %d, |Φb| = %d\n", st.PhiA, st.PhiB)
+	} else {
+		fmt.Println("the agents met while a was still building T^a, before the phase schedule began —")
+		fmt.Println("early co-location is real rendezvous in this model and only helps the bound")
+	}
+
+	// Certify the headline claim: zero whiteboard writes. The
+	// simulator counted every committed write; the Theorem-2 agents
+	// must not have produced any.
+	if res.Writes != 0 {
+		log.Fatalf("algorithm wrote %d whiteboard marks — not whiteboard-free!", res.Writes)
+	}
+	fmt.Println("whiteboard writes: 0 — the algorithm used none, as Theorem 2 promises")
+}

@@ -1,0 +1,312 @@
+// Package fnr is a from-scratch Go reproduction of the paper "Fast
+// Neighborhood Rendezvous" (Ryota Eguchi, Naoki Kitamura, Taisuke
+// Izumi; ICDCS 2020, arXiv:2105.03638): two mobile agents placed on
+// adjacent vertices of a graph must meet at a common vertex in as few
+// synchronous rounds as possible.
+//
+// The package bundles:
+//
+//   - the paper's two randomized algorithms — the whiteboard algorithm
+//     of Theorem 1 (Construct + Main-Rendezvous, O(n/δ·log²n +
+//     √(n∆/δ)·log n) rounds w.h.p. for δ ≥ √n) and the whiteboard-free
+//     algorithm of Theorem 2 (O(n/√δ·log²n) rounds w.h.p. under tight
+//     naming), including the §4.1 doubling minimum-degree estimation;
+//   - the baselines they are measured against (the trivial O(∆)
+//     neighbor sweep, DFS exploration, random walks, and a birthday
+//     strategy for complete graphs standing in for Anderson–Weber);
+//   - the synchronous two-agent simulator implementing the paper's
+//     model (per-round moves, whiteboards, KT1/KT0 neighbor-ID
+//     visibility, rendezvous = co-location at the start of a round);
+//   - graph generators, including the hard instances behind the
+//     paper's four Ω(·) lower bounds (Theorems 3–6); and
+//   - the experiment suite of DESIGN.md, reproducing every
+//     quantitative claim (see EXPERIMENTS.md for results).
+//
+// # Quick start
+//
+//	g, _ := fnr.PlantedMinDegree(1024, 181, rand.New(rand.NewPCG(1, 2)))
+//	res, err := fnr.Rendezvous(g, 0, g.Adj(0)[0], fnr.AlgWhiteboard, fnr.Options{Seed: 7})
+//	if err != nil { ... }
+//	fmt.Println(res.Met, res.MeetRound)
+//
+// Custom agents implement Program against Env and run under RunPrograms.
+package fnr
+
+import (
+	"errors"
+	"fmt"
+
+	"fnr/internal/baseline"
+	"fnr/internal/core"
+	"fnr/internal/graph"
+	"fnr/internal/harness"
+	"fnr/internal/lower"
+	"fnr/internal/sim"
+)
+
+// Core re-exported types. Aliases keep the internal packages private
+// while letting users hold and pass the values around.
+type (
+	// Graph is an immutable undirected simple graph with unique vertex
+	// IDs and explicit port numbering.
+	Graph = graph.Graph
+	// Vertex is a dense internal vertex index.
+	Vertex = graph.Vertex
+	// Builder assembles custom graphs.
+	Builder = graph.Builder
+	// Params carries every constant of the paper's pseudocode.
+	Params = core.Params
+	// Result reports a simulation outcome.
+	Result = sim.Result
+	// RoundEvent is delivered to observers once per round.
+	RoundEvent = sim.RoundEvent
+	// SimConfig configures a raw two-program simulation.
+	SimConfig = sim.Config
+	// Env is an agent's handle onto the simulation.
+	Env = sim.Env
+	// Program is a mobile-agent algorithm in direct style.
+	Program = sim.Program
+	// Instance is a packaged lower-bound scenario.
+	Instance = lower.Instance
+	// Experiment is one entry of the reproduction suite.
+	Experiment = harness.Experiment
+	// ExperimentConfig tunes the reproduction suite.
+	ExperimentConfig = harness.Config
+	// Table is an experiment's rendered result.
+	Table = harness.Table
+	// WhiteboardStats exposes agent a's diagnostics for AlgWhiteboard.
+	WhiteboardStats = core.WhiteboardStats
+	// NoboardStats exposes diagnostics for AlgNoWhiteboard.
+	NoboardStats = core.NoboardStats
+)
+
+// NoMark is the empty-whiteboard sentinel.
+const NoMark = sim.NoMark
+
+// Graph generators, re-exported from the graph substrate.
+var (
+	NewBuilder       = graph.NewBuilder
+	Rebuild          = graph.Rebuild
+	FromAdjacency    = graph.FromAdjacency
+	ReadGraph        = graph.Read
+	Complete         = graph.Complete
+	Ring             = graph.Ring
+	Path             = graph.Path
+	Star             = graph.Star
+	Grid             = graph.Grid
+	Torus            = graph.Torus
+	Hypercube        = graph.Hypercube
+	GNP              = graph.GNP
+	PlantedMinDegree = graph.PlantedMinDegree
+	RandomRegular    = graph.RandomRegular
+	BFSDistances     = graph.BFSDistances
+	Dist             = graph.Dist
+	IsConnected      = graph.IsConnected
+	PairsAtDistance  = graph.PairsAtDistance
+)
+
+// Parameter presets.
+var (
+	// PaperParams returns the constants exactly as printed in the paper.
+	PaperParams = core.PaperParams
+	// PracticalParams returns constants scaled for laptop-size n (the
+	// default; see DESIGN.md on constant scaling).
+	PracticalParams = core.PracticalParams
+)
+
+// VerifyDense checks the paper's (z, α, β)-dense condition of a vertex
+// set against the ground-truth graph (test/diagnostics helper).
+var VerifyDense = core.VerifyDense
+
+// Experiments returns the full reproduction suite (E1–E10, A1, A2).
+func Experiments() []Experiment { return harness.All() }
+
+// ExperimentByID looks up one suite entry.
+func ExperimentByID(id string) (Experiment, bool) { return harness.ByID(id) }
+
+// Algorithm selects a rendezvous strategy for Rendezvous.
+type Algorithm int
+
+// Available strategies.
+const (
+	// AlgWhiteboard is the paper's Theorem-1 algorithm (Construct +
+	// Main-Rendezvous). Needs whiteboards and neighbor IDs.
+	AlgWhiteboard Algorithm = iota
+	// AlgNoWhiteboard is the paper's Theorem-2 algorithm. Needs
+	// neighbor IDs and tight naming; Options.Delta must be set.
+	AlgNoWhiteboard
+	// AlgSweep is the trivial O(∆) baseline: a waits, b sweeps its
+	// neighborhood.
+	AlgSweep
+	// AlgDFS is rendezvous by full graph exploration: a waits, b
+	// walks a DFS traversal.
+	AlgDFS
+	// AlgStayWalk is the wait-and-random-walk baseline (KT0-capable).
+	AlgStayWalk
+	// AlgWalkPair runs two independent random walkers (KT0-capable).
+	AlgWalkPair
+	// AlgBirthday is the complete-graph whiteboard birthday strategy
+	// standing in for Anderson–Weber [6].
+	AlgBirthday
+)
+
+// String returns the CLI-friendly name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgWhiteboard:
+		return "whiteboard"
+	case AlgNoWhiteboard:
+		return "noboard"
+	case AlgSweep:
+		return "sweep"
+	case AlgDFS:
+		return "dfs"
+	case AlgStayWalk:
+		return "staywalk"
+	case AlgWalkPair:
+		return "walkpair"
+	case AlgBirthday:
+		return "birthday"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm maps a CLI name to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range []Algorithm{AlgWhiteboard, AlgNoWhiteboard, AlgSweep, AlgDFS, AlgStayWalk, AlgWalkPair, AlgBirthday} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("fnr: unknown algorithm %q", s)
+}
+
+// Options tunes a Rendezvous run. The zero value is usable for every
+// algorithm except AlgNoWhiteboard (which needs Delta).
+type Options struct {
+	// Seed drives all agent randomness (defaults to 1).
+	Seed uint64
+	// MaxRounds bounds the run (defaults to 4n²+1000).
+	MaxRounds int64
+	// Params overrides the algorithm constants (defaults to
+	// PracticalParams).
+	Params Params
+	// Delta is the minimum degree known to the agents. Zero means
+	// "unknown": AlgWhiteboard then uses the §4.1 doubling estimation;
+	// AlgNoWhiteboard reports an error (Theorem 2 assumes known δ).
+	Delta int
+	// Observer, if set, receives one event per simulated round.
+	Observer func(RoundEvent)
+	// WhiteboardStats, if set, collects agent a's diagnostics
+	// (AlgWhiteboard only).
+	WhiteboardStats *WhiteboardStats
+	// NoboardStats, if set, collects diagnostics (AlgNoWhiteboard
+	// only).
+	NoboardStats *NoboardStats
+}
+
+// Rendezvous runs the selected strategy for two agents starting on
+// startA and startB (which the paper's algorithms require to be
+// adjacent) and reports the outcome.
+func Rendezvous(g *Graph, startA, startB Vertex, algo Algorithm, opt Options) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("fnr: nil graph")
+	}
+	params := opt.Params
+	if params == (Params{}) {
+		params = core.PracticalParams()
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cfg := sim.Config{
+		Graph:     g,
+		StartA:    startA,
+		StartB:    startB,
+		MaxRounds: opt.MaxRounds,
+		Seed:      seed,
+		Observer:  opt.Observer,
+	}
+	var progA, progB Program
+	switch algo {
+	case AlgWhiteboard:
+		cfg.NeighborIDs = true
+		cfg.Whiteboards = true
+		know := core.Knowledge{Delta: opt.Delta, Doubling: opt.Delta <= 0}
+		progA, progB = core.WhiteboardAgents(params, know, opt.WhiteboardStats)
+	case AlgNoWhiteboard:
+		if opt.Delta <= 0 {
+			return nil, errors.New("fnr: AlgNoWhiteboard requires Options.Delta (Theorem 2 assumes known δ)")
+		}
+		cfg.NeighborIDs = true
+		progA, progB = core.NoboardAgents(params, opt.Delta, opt.NoboardStats)
+	case AlgSweep:
+		cfg.NeighborIDs = true
+		progA, progB = baseline.StayAndSweep()
+	case AlgDFS:
+		cfg.NeighborIDs = true
+		progA, progB = baseline.StayAndDFS()
+	case AlgStayWalk:
+		progA, progB = baseline.StayAndWalk()
+	case AlgWalkPair:
+		progA, progB = baseline.RandomWalkPair()
+	case AlgBirthday:
+		cfg.NeighborIDs = true
+		cfg.Whiteboards = true
+		progA, progB = baseline.BirthdayAgents()
+	default:
+		return nil, fmt.Errorf("fnr: unknown algorithm %v", algo)
+	}
+	return sim.Run(cfg, progA, progB)
+}
+
+// RunPrograms executes two custom agent programs under an explicit
+// simulation configuration — the low-level entry point for user-written
+// strategies.
+func RunPrograms(cfg SimConfig, a, b Program) (*Result, error) {
+	return sim.Run(cfg, a, b)
+}
+
+// HardKind selects a lower-bound instance family.
+type HardKind int
+
+// The four Ω(·) families of §5.
+const (
+	// HardTwoStars is Theorem 3 / Fig. 1(a): δ=1, ∆=Θ(n).
+	HardTwoStars HardKind = iota
+	// HardStarClique is Theorem 3 / Fig. 1(b): δ=Θ(n/∆).
+	HardStarClique
+	// HardKT0 is Theorem 4 / Fig. 2: run it without neighbor IDs.
+	HardKT0
+	// HardDistance2 is Theorem 5 / Fig. 3: initial distance two.
+	HardDistance2
+	// HardDeterministic is Theorem 6 / Lemma 9: the adaptive adversary
+	// against a greedy-sweep agent pair.
+	HardDeterministic
+)
+
+// HardInstance builds a lower-bound instance of the given family sized
+// by n (interpretation varies per family; see internal/lower).
+func HardInstance(kind HardKind, n int) (*Instance, error) {
+	switch kind {
+	case HardTwoStars:
+		return lower.TwoStarsInstance(max(1, (n-2)/2))
+	case HardStarClique:
+		arms := max(1, n/8)
+		return lower.StarCliqueInstance(arms, 4)
+	case HardKT0:
+		return lower.KT0Instance(n)
+	case HardDistance2:
+		return lower.Distance2Instance(max(3, (n+1)/2))
+	case HardDeterministic:
+		return lower.Theorem6Instance(n, lower.NewGreedySweep, lower.NewGreedySweep)
+	}
+	return nil, fmt.Errorf("fnr: unknown hard-instance kind %d", kind)
+}
+
+// SweepAgentsForInstance returns the deterministic greedy-sweep pair
+// used to exercise HardDeterministic instances.
+func SweepAgentsForInstance() (Program, Program) {
+	return lower.AsProgram(lower.NewGreedySweep()), lower.AsProgram(lower.NewGreedySweep())
+}

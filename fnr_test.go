@@ -1,0 +1,190 @@
+package fnr
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestRendezvousAllAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g, err := PlantedMinDegree(128, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := Vertex(0)
+	sb := g.Adj(sa)[0]
+	algos := []struct {
+		algo Algorithm
+		opt  Options
+	}{
+		{AlgWhiteboard, Options{Delta: g.MinDegree()}},
+		{AlgWhiteboard, Options{}}, // doubling estimation
+		{AlgNoWhiteboard, Options{Delta: g.MinDegree()}},
+		{AlgSweep, Options{}},
+		{AlgDFS, Options{}},
+		{AlgStayWalk, Options{}},
+		{AlgWalkPair, Options{MaxRounds: 1 << 22}},
+	}
+	for _, tc := range algos {
+		tc.opt.Seed = 5
+		if tc.opt.MaxRounds == 0 {
+			tc.opt.MaxRounds = 1 << 40
+		}
+		res, err := Rendezvous(g, sa, sb, tc.algo, tc.opt)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.algo, err)
+		}
+		if !res.Met {
+			t.Errorf("%v: no rendezvous", tc.algo)
+		}
+	}
+}
+
+func TestRendezvousBirthdayOnComplete(t *testing.T) {
+	g, err := Complete(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Rendezvous(g, 0, 1, AlgBirthday, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatal("birthday strategy failed on K64")
+	}
+}
+
+func TestRendezvousValidation(t *testing.T) {
+	g, err := Complete(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rendezvous(nil, 0, 1, AlgSweep, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Rendezvous(g, 0, 1, AlgNoWhiteboard, Options{}); err == nil {
+		t.Error("AlgNoWhiteboard without Delta accepted")
+	}
+	if _, err := Rendezvous(g, 0, 1, Algorithm(99), Options{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, a := range []Algorithm{AlgWhiteboard, AlgNoWhiteboard, AlgSweep, AlgDFS, AlgStayWalk, AlgWalkPair, AlgBirthday} {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip %v failed: %v, %v", a, got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("ParseAlgorithm accepted garbage")
+	}
+}
+
+func TestWhiteboardStatsExposed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	g, err := PlantedMinDegree(128, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &WhiteboardStats{}
+	res, err := Rendezvous(g, 0, g.Adj(0)[0], AlgWhiteboard, Options{
+		Seed: 2, Delta: g.MinDegree(), WhiteboardStats: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatal("no rendezvous")
+	}
+	// Stats may be partially filled if the meeting interrupted
+	// Construct; either way the struct must be safe to read.
+	if st.Iterations < 0 || st.StrictRuns < 0 {
+		t.Fatal("stats corrupted")
+	}
+}
+
+func TestHardInstances(t *testing.T) {
+	kinds := []struct {
+		kind HardKind
+		n    int
+	}{
+		{HardTwoStars, 100},
+		{HardStarClique, 64},
+		{HardKT0, 64},
+		{HardDistance2, 101},
+		{HardDeterministic, 128},
+	}
+	for _, tc := range kinds {
+		inst, err := HardInstance(tc.kind, tc.n)
+		if err != nil {
+			t.Fatalf("kind %d: %v", tc.kind, err)
+		}
+		if err := inst.G.Validate(); err != nil {
+			t.Fatalf("kind %d: invalid graph: %v", tc.kind, err)
+		}
+		if inst.LowerBound <= 0 {
+			t.Errorf("kind %d: no lower bound", tc.kind)
+		}
+	}
+	if _, err := HardInstance(HardKind(99), 10); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestDeterministicHardInstanceHoldsOff(t *testing.T) {
+	inst, err := HardInstance(HardDeterministic, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := SweepAgentsForInstance()
+	res, err := RunPrograms(SimConfig{
+		Graph: inst.G, StartA: inst.StartA, StartB: inst.StartB,
+		NeighborIDs: true, MaxRounds: inst.LowerBound,
+	}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met {
+		t.Fatalf("met at %d, theorem forbids before %d", res.MeetRound, inst.LowerBound)
+	}
+}
+
+func TestCustomProgramAPI(t *testing.T) {
+	g, err := Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaser := func(e *Env) {
+		n := e.NPrime()
+		for {
+			if err := e.MoveToID((e.HereID() + 1) % n); err != nil {
+				return
+			}
+		}
+	}
+	waiter := func(e *Env) {
+		for {
+			e.Stay()
+		}
+	}
+	res, err := RunPrograms(SimConfig{
+		Graph: g, StartA: 0, StartB: 4, NeighborIDs: true, MaxRounds: 20,
+	}, chaser, waiter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || res.MeetVertex != 4 {
+		t.Fatalf("custom program rendezvous failed: %+v", res)
+	}
+}
+
+func TestExperimentsRegistryExposed(t *testing.T) {
+	if len(Experiments()) != 14 {
+		t.Fatalf("got %d experiments", len(Experiments()))
+	}
+	if _, ok := ExperimentByID("A2"); !ok {
+		t.Fatal("A2 missing")
+	}
+}

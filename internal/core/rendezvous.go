@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"slices"
+
+	"fnr/internal/sim"
+)
+
+// WhiteboardAgents returns the (a, b) program pair implementing the
+// Theorem-1 algorithm: agent a runs Construct and then Main-Rendezvous
+// sampling; agent b obliviously marks random closed neighbors of its
+// start vertex with its start ID. The pair needs whiteboards and
+// neighbor-ID access. st may be nil.
+func WhiteboardAgents(p Params, know Knowledge, st *WhiteboardStats) (a, b sim.Program) {
+	return AgentA(p, know, st), AgentB()
+}
+
+// AgentA returns agent a's program for the Theorem-1 algorithm:
+// Construct an (a, δ/8, 2)-dense set T^a (with doubling δ-estimation if
+// requested), then repeatedly sample a uniform vertex of T^a, read its
+// whiteboard, and on finding agent b's mark move to b's start vertex
+// and wait there. st may be nil.
+func AgentA(p Params, know Knowledge, st *WhiteboardStats) sim.Program {
+	return func(e *sim.Env) {
+		w := runConstruct(e, p, know, st)
+		mainRendezvousA(e, w)
+	}
+}
+
+// ConstructOnly returns a program that runs Construct and halts,
+// exposing T^a through st for the Lemma 5–8 experiments.
+func ConstructOnly(p Params, know Knowledge, st *WhiteboardStats) sim.Program {
+	return func(e *sim.Env) {
+		runConstruct(e, p, know, st)
+	}
+}
+
+// runConstruct runs Construct under the requested δ-knowledge mode,
+// handling §4.1 doubling restarts.
+func runConstruct(e *sim.Env, p Params, know Knowledge, st *WhiteboardStats) *walker {
+	var deltaEst float64
+	if know.Doubling {
+		deltaEst = float64(e.Degree()) / 2
+		if deltaEst < 1 {
+			deltaEst = 1
+		}
+	} else {
+		deltaEst = float64(know.Delta)
+		if deltaEst < 1 {
+			deltaEst = 1
+		}
+	}
+	for {
+		w, err := constructDense(e, p, deltaEst, know.Doubling, st)
+		if err == nil {
+			// Degree checks are a Construct-only device; the main
+			// phase must not trigger restarts.
+			w.doubling = false
+			return w
+		}
+		var re *restartError
+		if !know.Doubling || !errors.As(err, &re) {
+			panic(err)
+		}
+		if st != nil {
+			st.Restarts++
+		}
+		deltaEst /= 2
+		if deltaEst < 1 {
+			deltaEst = 1
+		}
+	}
+}
+
+// mainRendezvousA is agent a's loop of Algorithm 1: sample v ∈ T^a
+// uniformly, visit it, read the whiteboard, return home; once a mark
+// (b's start-vertex ID) is found, move there and wait for b.
+func mainRendezvousA(e *sim.Env, w *walker) {
+	t := w.nsL
+	rng := e.Rand()
+	for {
+		v := t[rng.IntN(len(t))]
+		if err := w.goTo(v); err != nil {
+			panic(err)
+		}
+		mark := e.Whiteboard()
+		if err := w.goHome(); err != nil {
+			panic(err)
+		}
+		if mark == sim.NoMark {
+			continue
+		}
+		// mark is b's start-vertex ID; the initial distance is one, so
+		// it is a neighbor of home. A mark that is not adjacent cannot
+		// come from this algorithm; skip it defensively.
+		if !slices.Contains(w.homeNb, mark) && mark != w.home {
+			continue
+		}
+		if mark != w.home {
+			if err := e.MoveToID(mark); err != nil {
+				panic(err)
+			}
+		}
+		// Wait for b's next return to its start vertex.
+		for {
+			e.Stay()
+		}
+	}
+}
+
+// AgentB returns agent b's oblivious program of Algorithm 1: repeatedly
+// pick u uniformly from N+(start), visit it, write the start vertex's
+// ID on its whiteboard, and return. It needs no knowledge of n or δ.
+func AgentB() sim.Program {
+	return func(e *sim.Env) {
+		home := e.HereID()
+		np := make([]int64, 0, e.Degree()+1)
+		np = append(np, home)
+		np = append(np, e.NeighborIDs()...)
+		rng := e.Rand()
+		for {
+			u := np[rng.IntN(len(np))]
+			if u == home {
+				if err := e.WriteWhiteboard(home); err != nil {
+					panic(err)
+				}
+				e.Stay() // commit the write, staying put
+				continue
+			}
+			if err := e.MoveToID(u); err != nil {
+				panic(err)
+			}
+			if err := e.WriteWhiteboard(home); err != nil {
+				panic(err)
+			}
+			if err := e.MoveToID(home); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// SampleReport exposes one standalone Sample(Γ, α) classification for
+// the Lemma-2 experiments.
+type SampleReport struct {
+	// Heavy is the output set H': the vertices of N+(start) classified
+	// α-heavy for Γ = N+(start).
+	Heavy []int64
+	// Visits is the number of vertex visits the run spent.
+	Visits int64
+}
+
+// SampleClassifier returns a program that classifies every vertex of
+// N+(start) as heavy or light for Γ = N+(start) with α = δ/AlphaDen,
+// stores the result in rep, and halts. Used to validate Lemma 2 /
+// Corollary 1 empirically.
+func SampleClassifier(p Params, delta int, rep *SampleReport) sim.Program {
+	return func(e *sim.Env) {
+		w := newWalker(e, p, float64(delta), false)
+		gamma := w.learn(w.home, w.homeNb)
+		heavy, err := w.sampleRun(gamma, w.alpha(), nil)
+		if err != nil {
+			panic(err)
+		}
+		rep.Heavy = heavy
+		rep.Visits = w.visits
+	}
+}

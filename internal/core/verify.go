@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"fnr/internal/graph"
+)
+
+// VerifyDense checks Definition 3 of the paper against the ground-truth
+// graph: T (given as vertex IDs) is (z, alpha, beta)-dense for the
+// start vertex v0 iff
+//
+//  1. v0 ∈ T,
+//  2. every w ∈ T satisfies dist(v0, w) ≤ beta, and
+//  3. every u ∈ N+(v0) is alpha-heavy for T, i.e. |T ∩ N+(u)| ≥ alpha.
+//
+// It returns nil when all three conditions hold. This is a test and
+// diagnostics helper: algorithms never call it (agents cannot see the
+// whole graph).
+func VerifyDense(g *graph.Graph, v0 graph.Vertex, t []int64, alpha float64, beta int32) error {
+	tset := make(map[graph.Vertex]struct{}, len(t))
+	for _, id := range t {
+		v, ok := g.VertexByID(id)
+		if !ok {
+			return fmt.Errorf("core: T contains unknown ID %d", id)
+		}
+		tset[v] = struct{}{}
+	}
+	if _, ok := tset[v0]; !ok {
+		return fmt.Errorf("core: start vertex (ID %d) not in T", g.ID(v0))
+	}
+	dist := graph.BFSDistances(g, v0)
+	for v := range tset {
+		if dist[v] < 0 || dist[v] > beta {
+			return fmt.Errorf("core: T member ID %d at distance %d > %d from start", g.ID(v), dist[v], beta)
+		}
+	}
+	heaviness := func(u graph.Vertex) int {
+		cnt := 0
+		if _, ok := tset[u]; ok {
+			cnt++
+		}
+		for _, w := range g.Adj(u) {
+			if _, ok := tset[w]; ok {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	if h := heaviness(v0); float64(h) < alpha {
+		return fmt.Errorf("core: start vertex is not %.2f-heavy for T (|T∩N+| = %d)", alpha, h)
+	}
+	for _, u := range g.Adj(v0) {
+		if h := heaviness(u); float64(h) < alpha {
+			return fmt.Errorf("core: neighbor ID %d is not %.2f-heavy for T (|T∩N+| = %d)", g.ID(u), alpha, h)
+		}
+	}
+	return nil
+}
+
+// Heaviness returns |T ∩ N+(u)| for a vertex u against a set of IDs,
+// computed from the ground-truth graph. Exposed for experiments that
+// need the per-vertex heavy/light truth (Lemma 2 validation).
+func Heaviness(g *graph.Graph, u graph.Vertex, t map[int64]struct{}) int {
+	cnt := 0
+	if _, ok := t[g.ID(u)]; ok {
+		cnt++
+	}
+	for _, w := range g.Adj(u) {
+		if _, ok := t[g.ID(w)]; ok {
+			cnt++
+		}
+	}
+	return cnt
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"fnr/internal/sim"
+)
+
+// restartError signals a doubling-estimation restart: a visited
+// vertex's degree undercut the current δ' estimate (§4.1).
+type restartError struct {
+	seenDegree int
+}
+
+func (e *restartError) Error() string {
+	return fmt.Sprintf("core: visited vertex of degree %d below current δ' estimate", e.seenDegree)
+}
+
+// walker is agent a's bookkeeping: the learned 2-neighborhood of its
+// start vertex, with a via-vertex per known vertex so that any learned
+// vertex is reachable from home in at most two moves (the paper's
+// "shortest paths to all vertices in T^a" knowledge).
+type walker struct {
+	e        *sim.Env
+	p        Params
+	lnN      float64
+	deltaEst float64 // current δ' (exact δ or the doubling estimate)
+	doubling bool
+
+	home    int64
+	homeNb  []int64            // N(home) IDs in port order
+	npHome  map[int64]struct{} // N+(home) as a set
+	npHomeL []int64            // N+(home) as a list (home first)
+	via     map[int64]int64    // known vertex -> neighbor of home on a shortest path
+	ns      map[int64]struct{} // N+(S), the paper's NS^a
+	nsL     []int64            // NS as a list, in discovery order
+	visits  int64              // number of vertex visits (diagnostics)
+
+	// lastSeen holds the full neighbor list of the most recently
+	// visited candidate only. One entry suffices — Construct consumes
+	// it immediately when the candidate is selected as x_i — and
+	// keeping just one preserves the paper's O(n log n)-bit memory
+	// claim (an unbounded cache could reach Θ(δ·∆) words).
+	lastSeenID int64
+	lastSeenNb []int64
+}
+
+// newWalker snapshots the start vertex's neighborhood. Must be called
+// with the agent at its start vertex.
+func newWalker(e *sim.Env, p Params, deltaEst float64, doubling bool) *walker {
+	w := &walker{
+		e:          e,
+		p:          p,
+		lnN:        lnOf(e.NPrime()),
+		deltaEst:   deltaEst,
+		doubling:   doubling,
+		home:       e.HereID(),
+		homeNb:     slices.Clone(e.NeighborIDs()),
+		via:        make(map[int64]int64),
+		ns:         make(map[int64]struct{}),
+		lastSeenID: -1,
+	}
+	w.npHome = make(map[int64]struct{}, len(w.homeNb)+1)
+	w.npHomeL = make([]int64, 0, len(w.homeNb)+1)
+	w.npHome[w.home] = struct{}{}
+	w.npHomeL = append(w.npHomeL, w.home)
+	for _, id := range w.homeNb {
+		w.npHome[id] = struct{}{}
+		w.npHomeL = append(w.npHomeL, id)
+	}
+	w.via[w.home] = w.home
+	for _, id := range w.homeNb {
+		w.via[id] = id
+	}
+	return w
+}
+
+// alpha returns α = δ'/AlphaDen.
+func (w *walker) alpha() float64 { return w.deltaEst / w.p.AlphaDen }
+
+// lightBound returns the exact-check lightness threshold δ'/LightDen.
+func (w *walker) lightBound() float64 { return w.deltaEst / w.p.LightDen }
+
+// checkDegree enforces the doubling-estimation invariant on the vertex
+// the agent currently occupies.
+func (w *walker) checkDegree() error {
+	if w.doubling && float64(w.e.Degree()) < w.deltaEst {
+		return &restartError{seenDegree: w.e.Degree()}
+	}
+	return nil
+}
+
+// goTo moves from home to the known vertex target (≤ 2 moves) and
+// verifies the degree invariant on arrival. The caller must currently
+// be at home.
+func (w *walker) goTo(target int64) error {
+	if target == w.home {
+		return nil
+	}
+	via, ok := w.via[target]
+	if !ok {
+		return fmt.Errorf("core: goTo(%d): vertex unknown to walker", target)
+	}
+	if via != target {
+		if err := w.e.MoveToID(via); err != nil {
+			return err
+		}
+		if err := w.checkDegree(); err != nil {
+			return err
+		}
+	}
+	if err := w.e.MoveToID(target); err != nil {
+		return err
+	}
+	w.visits++
+	return w.checkDegree()
+}
+
+// goHome returns to home from wherever the agent stands (≤ 2 moves).
+func (w *walker) goHome() error {
+	cur := w.e.HereID()
+	if cur == w.home {
+		return nil
+	}
+	if _, direct := w.npHome[cur]; !direct {
+		via, ok := w.via[cur]
+		if !ok {
+			return fmt.Errorf("core: goHome from unknown vertex %d", cur)
+		}
+		if err := w.e.MoveToID(via); err != nil {
+			return err
+		}
+	}
+	return w.e.MoveToID(w.home)
+}
+
+// observeHere returns N+(current vertex) as (self ID, neighbor IDs).
+// The neighbor slice is the simulator's shared buffer: valid only until
+// the next move.
+func (w *walker) observeHere() (int64, []int64) {
+	return w.e.HereID(), w.e.NeighborIDs()
+}
+
+// learn records x's full neighborhood (observed while standing on x)
+// into NS^a, assigning via-vertices for the newly discovered vertices,
+// and returns the list of vertices newly added to NS (the difference
+// set N+(S ∪ {x}) \ N+(S)).
+func (w *walker) learn(x int64, nbs []int64) []int64 {
+	var added []int64
+	add := func(id int64) {
+		if _, known := w.ns[id]; known {
+			return
+		}
+		w.ns[id] = struct{}{}
+		w.nsL = append(w.nsL, id)
+		added = append(added, id)
+		if _, exists := w.via[id]; !exists {
+			w.via[id] = x
+		}
+	}
+	add(x)
+	for _, id := range nbs {
+		add(id)
+	}
+	return added
+}
+
+// exactCount returns |NS ∩ N+(u)| by visiting u, as the strict
+// decision of Algorithm 3 does (home is free: its neighborhood is
+// known). The observed neighborhood is retained as the single-entry
+// lastSeen cache so that learn can use it if u is selected as x_i. The
+// agent ends the call back at home.
+func (w *walker) exactCount(u int64) (int, error) {
+	if u == w.home {
+		return w.countAgainstNS(u, w.homeNb), nil
+	}
+	if err := w.goTo(u); err != nil {
+		return 0, err
+	}
+	self, nbs := w.observeHere()
+	cnt := w.countAgainstNS(self, nbs)
+	w.lastSeenID = self
+	w.lastSeenNb = append(w.lastSeenNb[:0], nbs...)
+	if err := w.goHome(); err != nil {
+		return 0, err
+	}
+	return cnt, nil
+}
+
+// cachedNeighborhood returns u's full neighbor list if u is home or the
+// most recently visited candidate.
+func (w *walker) cachedNeighborhood(u int64) ([]int64, bool) {
+	if u == w.home {
+		return w.homeNb, true
+	}
+	if u == w.lastSeenID {
+		return w.lastSeenNb, true
+	}
+	return nil, false
+}
+
+// memoryWords estimates the walker's state size in machine words:
+// O(|NS| + ∆) = O(n), matching the paper's O(n log n)-bit claim.
+func (w *walker) memoryWords() int {
+	return len(w.homeNb) + len(w.npHomeL) + len(w.via) + len(w.nsL) + len(w.lastSeenNb)
+}
+
+func (w *walker) countAgainstNS(self int64, nbs []int64) int {
+	cnt := 0
+	if _, ok := w.ns[self]; ok {
+		cnt++
+	}
+	for _, id := range nbs {
+		if _, ok := w.ns[id]; ok {
+			cnt++
+		}
+	}
+	return cnt
+}

@@ -1,0 +1,96 @@
+package graph
+
+// BFSDistances returns the array of hop distances from src to every
+// vertex; unreachable vertices get -1.
+func BFSDistances(g *Graph, src Vertex) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]Vertex, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns the hop distance between u and v, or -1 if disconnected.
+func Dist(g *Graph, u, v Vertex) int32 {
+	if u == v {
+		return 0
+	}
+	return BFSDistances(g, u)[v]
+}
+
+// IsConnected reports whether g is connected (the empty graph and the
+// single vertex count as connected).
+func IsConnected(g *Graph) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	for _, d := range BFSDistances(g, 0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the largest finite pairwise distance, or -1 if g is
+// disconnected. It runs n BFS passes; intended for tests and tools, not
+// hot paths.
+func Diameter(g *Graph) int32 {
+	var diam int32
+	for v := 0; v < g.N(); v++ {
+		for _, d := range BFSDistances(g, Vertex(v)) {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices
+// with that degree.
+func DegreeHistogram(g *Graph) map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		h[g.Degree(Vertex(v))]++
+	}
+	return h
+}
+
+// PairsAtDistance returns up to max (u, v) pairs with distance exactly d,
+// scanning vertices in index order. Used by experiments to pick valid
+// initial locations; d must be ≥ 1.
+func PairsAtDistance(g *Graph, d int32, max int) [][2]Vertex {
+	var out [][2]Vertex
+	if d < 1 || max <= 0 {
+		return out
+	}
+	for u := 0; u < g.N() && len(out) < max; u++ {
+		dist := BFSDistances(g, Vertex(u))
+		for v := range dist {
+			if dist[v] == d && Vertex(v) > Vertex(u) {
+				out = append(out, [2]Vertex{Vertex(u), Vertex(v)})
+				if len(out) >= max {
+					break
+				}
+			}
+		}
+	}
+	return out
+}

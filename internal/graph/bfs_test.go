@@ -1,0 +1,78 @@
+package graph
+
+import "testing"
+
+func TestBFSDistances(t *testing.T) {
+	g, err := Path(5)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	d := BFSDistances(g, 0)
+	want := []int32{0, 1, 2, 3, 4}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+	if Dist(g, 1, 4) != 3 || Dist(g, 2, 2) != 0 {
+		t.Errorf("Dist wrong: %d, %d", Dist(g, 1, 4), Dist(g, 2, 2))
+	}
+}
+
+func TestConnectivityAndDiameter(t *testing.T) {
+	// Two disjoint edges: disconnected.
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 3)
+	g := b.MustBuild()
+	if IsConnected(g) {
+		t.Fatal("disjoint edges reported connected")
+	}
+	if Diameter(g) != -1 {
+		t.Fatalf("Diameter of disconnected graph = %d, want -1", Diameter(g))
+	}
+	if d := Dist(g, 0, 3); d != -1 {
+		t.Fatalf("Dist across components = %d, want -1", d)
+	}
+	ring, err := Ring(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Diameter(ring) != 5 {
+		t.Fatalf("Diameter(C10) = %d, want 5", Diameter(ring))
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	s, err := Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := DegreeHistogram(s)
+	if h[5] != 1 || h[1] != 5 {
+		t.Fatalf("histogram %v, want 1×deg5, 5×deg1", h)
+	}
+}
+
+func TestPairsAtDistance(t *testing.T) {
+	g, err := Path(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := PairsAtDistance(g, 1, 100)
+	if len(p1) != 5 {
+		t.Fatalf("got %d adjacent pairs, want 5", len(p1))
+	}
+	p3 := PairsAtDistance(g, 3, 2)
+	if len(p3) != 2 {
+		t.Fatalf("got %d pairs at distance 3 with cap 2, want 2", len(p3))
+	}
+	for _, pr := range p3 {
+		if Dist(g, pr[0], pr[1]) != 3 {
+			t.Errorf("pair %v not at distance 3", pr)
+		}
+	}
+	if got := PairsAtDistance(g, 0, 5); len(got) != 0 {
+		t.Errorf("distance 0 returned %d pairs, want 0", len(got))
+	}
+}

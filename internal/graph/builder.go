@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Builder assembles a graph incrementally. Edges are appended to both
+// endpoints' adjacency lists in call order, which defines the port
+// numbering. IDs default to the tight assignment ids[v] = v; override
+// with SetID or one of the relabeling helpers before Build.
+type Builder struct {
+	ids    []int64
+	adj    [][]Vertex
+	seen   map[edgeKey]struct{}
+	nPrime int64
+}
+
+type edgeKey uint64
+
+func keyOf(u, v Vertex) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey(uint64(uint32(u))<<32 | uint64(uint32(v)))
+}
+
+// NewBuilder returns a builder for a graph on n vertices with tight IDs
+// (ids[v] = v, n' = n) until changed.
+func NewBuilder(n int) *Builder {
+	b := &Builder{
+		ids:    make([]int64, n),
+		adj:    make([][]Vertex, n),
+		seen:   make(map[edgeKey]struct{}),
+		nPrime: int64(n),
+	}
+	for v := range b.ids {
+		b.ids[v] = int64(v)
+	}
+	return b
+}
+
+// N returns the number of vertices under construction.
+func (b *Builder) N() int { return len(b.ids) }
+
+// SetID assigns identifier id to vertex v. Uniqueness and range are
+// checked at Build time.
+func (b *Builder) SetID(v Vertex, id int64) { b.ids[v] = id }
+
+// SetNPrime sets the ID-space bound n'. Build fails if any ID falls
+// outside [0, n').
+func (b *Builder) SetNPrime(nPrime int64) { b.nPrime = nPrime }
+
+// HasEdge reports whether the edge u-v has been added.
+func (b *Builder) HasEdge(u, v Vertex) bool {
+	_, ok := b.seen[keyOf(u, v)]
+	return ok
+}
+
+// Degree returns the current degree of v.
+func (b *Builder) Degree(v Vertex) int { return len(b.adj[v]) }
+
+// AddEdge adds the undirected edge u-v. It returns an error on
+// self-loops, out-of-range endpoints, or duplicate edges.
+func (b *Builder) AddEdge(u, v Vertex) error {
+	n := Vertex(len(b.ids))
+	if u < 0 || v < 0 || u >= n || v >= n {
+		return fmt.Errorf("graph: edge %d-%d out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	k := keyOf(u, v)
+	if _, dup := b.seen[k]; dup {
+		return fmt.Errorf("graph: duplicate edge %d-%d", u, v)
+	}
+	b.seen[k] = struct{}{}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+	return nil
+}
+
+// MustAddEdge is AddEdge for generator code where the edge is known
+// valid by construction; it panics on error.
+func (b *Builder) MustAddEdge(u, v Vertex) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// ShufflePorts randomizes the port order of every adjacency list using
+// rng. Algorithms must not depend on generator-specific port order;
+// shuffling ports in tests catches such dependencies.
+func (b *Builder) ShufflePorts(rng *rand.Rand) {
+	for v := range b.adj {
+		a := b.adj[v]
+		rng.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+	}
+}
+
+// Build finalizes the graph. The builder remains usable (the structure
+// is copied out).
+func (b *Builder) Build() (*Graph, error) {
+	return FromAdjacency(b.ids, b.adj, b.nPrime)
+}
+
+// MustBuild is Build for generator code where the construction is known
+// valid; it panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// PermuteIDs assigns IDs that are a uniformly random permutation of
+// [0, n), keeping tight naming but decorrelating IDs from indices.
+func (b *Builder) PermuteIDs(rng *rand.Rand) {
+	perm := rng.Perm(len(b.ids))
+	for v := range b.ids {
+		b.ids[v] = int64(perm[v])
+	}
+	b.nPrime = int64(len(b.ids))
+}
+
+// Rebuild returns a builder preloaded with g's structure (edges in
+// per-vertex port order, IDs and n' copied), ready for relabeling or
+// extension.
+func Rebuild(g *Graph) *Builder {
+	b := NewBuilder(g.N())
+	for v := Vertex(0); int(v) < g.N(); v++ {
+		for _, w := range g.Adj(v) {
+			if v < w {
+				b.MustAddEdge(v, w)
+			}
+		}
+	}
+	for v := Vertex(0); int(v) < g.N(); v++ {
+		b.SetID(v, g.ID(v))
+	}
+	b.SetNPrime(g.NPrime())
+	return b
+}
+
+// SparseIDs assigns IDs drawn uniformly without replacement from
+// [0, factor·n), modeling the paper's loose (polynomial) naming where
+// n' may exceed n. factor must be at least 1.
+func (b *Builder) SparseIDs(factor int64, rng *rand.Rand) error {
+	n := int64(len(b.ids))
+	if factor < 1 {
+		return fmt.Errorf("graph: sparse ID factor %d < 1", factor)
+	}
+	space := factor * n
+	used := make(map[int64]struct{}, n)
+	for v := range b.ids {
+		for {
+			id := rng.Int64N(space)
+			if _, dup := used[id]; !dup {
+				used[id] = struct{}{}
+				b.ids[v] = id
+				break
+			}
+		}
+	}
+	b.nPrime = space
+	return nil
+}

@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// This file holds the graph families used across the experiments.
+// Generators return graphs with tight IDs (ids[v] = v); relabel via the
+// Builder helpers when an experiment needs permuted or sparse naming.
+
+// Complete returns the complete graph K_n (n ≥ 2).
+func Complete(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: complete graph needs n ≥ 2, got %d", n)
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.MustAddEdge(Vertex(u), Vertex(v))
+		}
+	}
+	return b.Build()
+}
+
+// Ring returns the cycle C_n (n ≥ 3).
+func Ring(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: ring needs n ≥ 3, got %d", n)
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.MustAddEdge(Vertex(v), Vertex((v+1)%n))
+	}
+	return b.Build()
+}
+
+// Path returns the path P_n (n ≥ 2).
+func Path(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: path needs n ≥ 2, got %d", n)
+	}
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.MustAddEdge(Vertex(v), Vertex(v+1))
+	}
+	return b.Build()
+}
+
+// Star returns the star S_{n-1}: vertex 0 is the center, vertices
+// 1..n-1 are leaves (n ≥ 2).
+func Star(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: star needs n ≥ 2, got %d", n)
+	}
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.MustAddEdge(0, Vertex(v))
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols grid graph (rows, cols ≥ 1, rows·cols ≥ 2).
+func Grid(rows, cols int) (*Graph, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("graph: invalid grid %dx%d", rows, cols)
+	}
+	b := NewBuilder(rows * cols)
+	at := func(r, c int) Vertex { return Vertex(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.MustAddEdge(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				b.MustAddEdge(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the rows×cols torus (wrap-around grid); rows, cols ≥ 3
+// so that no parallel edges arise.
+func Torus(rows, cols int) (*Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus needs rows, cols ≥ 3, got %dx%d", rows, cols)
+	}
+	b := NewBuilder(rows * cols)
+	at := func(r, c int) Vertex { return Vertex(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.MustAddEdge(at(r, c), at(r, (c+1)%cols))
+			b.MustAddEdge(at(r, c), at((r+1)%rows, c))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the dim-dimensional hypercube Q_dim (dim ≥ 1).
+func Hypercube(dim int) (*Graph, error) {
+	if dim < 1 || dim > 24 {
+		return nil, fmt.Errorf("graph: hypercube dimension %d out of [1,24]", dim)
+	}
+	n := 1 << dim
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < dim; bit++ {
+			w := v ^ (1 << bit)
+			if v < w {
+				b.MustAddEdge(Vertex(v), Vertex(w))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GNP returns an Erdős–Rényi G(n, p) sample. The result may be
+// disconnected or have isolated vertices; callers that need degree
+// floors should use PlantedMinDegree instead.
+func GNP(n int, p float64, rng *rand.Rand) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: G(n,p) needs n ≥ 2, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: G(n,p) needs p in [0,1], got %v", p)
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.MustAddEdge(Vertex(u), Vertex(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// PlantedMinDegree returns a connected graph on n vertices with minimum
+// degree at least d and maximum degree O(d) in expectation: a
+// Hamiltonian cycle (connectivity) plus random edges added from
+// deficit vertices until every vertex reaches degree d. This is the
+// quasi-regular workload family used by the scaling experiments, where
+// δ is the controlled parameter and ∆/δ stays bounded.
+func PlantedMinDegree(n, d int, rng *rand.Rand) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: planted graph needs n ≥ 3, got %d", n)
+	}
+	if d < 2 || d > n-1 {
+		return nil, fmt.Errorf("graph: planted degree %d out of [2, %d]", d, n-1)
+	}
+	b := NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(Vertex(perm[i]), Vertex(perm[(i+1)%n]))
+	}
+	// Repeatedly pick a vertex with deficit and connect it to a random
+	// non-neighbor, preferring other deficit vertices to keep the
+	// degree distribution tight.
+	deficit := make([]Vertex, 0, n)
+	for v := 0; v < n; v++ {
+		if b.Degree(Vertex(v)) < d {
+			deficit = append(deficit, Vertex(v))
+		}
+	}
+	for len(deficit) > 0 {
+		// Compact the deficit list.
+		out := deficit[:0]
+		for _, v := range deficit {
+			if b.Degree(v) < d {
+				out = append(out, v)
+			}
+		}
+		deficit = out
+		if len(deficit) == 0 {
+			break
+		}
+		v := deficit[rng.IntN(len(deficit))]
+		var w Vertex
+		if len(deficit) > 1 {
+			// Try a few times to pair two deficit vertices.
+			w = v
+			for try := 0; try < 8 && (w == v || b.HasEdge(v, w)); try++ {
+				w = deficit[rng.IntN(len(deficit))]
+			}
+			if w == v || b.HasEdge(v, w) {
+				w = NilVertex
+			}
+		} else {
+			w = NilVertex
+		}
+		if w == NilVertex {
+			// Fall back to a uniform non-neighbor.
+			w = Vertex(rng.IntN(n))
+			for w == v || b.HasEdge(v, w) {
+				w = Vertex(rng.IntN(n))
+			}
+		}
+		b.MustAddEdge(v, w)
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random d-regular graph on n vertices using
+// Steger–Wormald incremental stub matching: unmatched stubs are paired
+// uniformly at random, rejecting loops and parallel edges locally, and
+// the whole construction restarts on a dead end. n·d must be even and
+// d ≤ n-1.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if n < 2 || d < 1 || d > n-1 {
+		return nil, fmt.Errorf("graph: random regular needs 1 ≤ d ≤ n-1, got n=%d d=%d", n, d)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: random regular needs n·d even, got n=%d d=%d", n, d)
+	}
+	stubs := make([]Vertex, 0, n*d)
+restart:
+	for try := 0; try < 200; try++ {
+		stubs = stubs[:0]
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, Vertex(v))
+			}
+		}
+		b := NewBuilder(n)
+		for len(stubs) > 0 {
+			// Pick a valid random pair of stubs; give up on this
+			// attempt after enough failed draws (dead end).
+			ok := false
+			for draw := 0; draw < 64; draw++ {
+				i := rng.IntN(len(stubs))
+				j := rng.IntN(len(stubs))
+				if i == j {
+					continue
+				}
+				u, v := stubs[i], stubs[j]
+				if u == v || b.HasEdge(u, v) {
+					continue
+				}
+				b.MustAddEdge(u, v)
+				// Remove the two stubs (order matters: delete the
+				// larger index first).
+				if i < j {
+					i, j = j, i
+				}
+				stubs[i] = stubs[len(stubs)-1]
+				stubs = stubs[:len(stubs)-1]
+				stubs[j] = stubs[len(stubs)-1]
+				stubs = stubs[:len(stubs)-1]
+				ok = true
+				break
+			}
+			if !ok {
+				continue restart
+			}
+		}
+		return b.Build()
+	}
+	return nil, fmt.Errorf("graph: random regular pairing failed for n=%d d=%d", n, d)
+}

@@ -1,0 +1,255 @@
+// Package graph provides the static graph substrate used by the
+// rendezvous simulator: undirected simple graphs with unique vertex
+// identifiers, explicit local port numberings, generators for the graph
+// families used throughout the paper "Fast Neighborhood Rendezvous"
+// (Eguchi, Kitamura, Izumi; ICDCS 2020), and text serialization.
+//
+// Vertices carry two independent namespaces:
+//
+//   - the internal index (type Vertex), a dense [0, N) range used by the
+//     simulator and all algorithms' internal bookkeeping, and
+//   - the identifier (int64 ID), the value visible to agents. IDs are
+//     distinct integers in [0, n'), where n' is the ID-space bound the
+//     paper calls n′ (agents know n′; "tight naming" means n' = O(n)).
+//
+// The local port numbering of a vertex v is the order of its adjacency
+// list: port p of v leads to Adj(v)[p]. This is the paper's true port
+// mapping P̂_v. Whether agents may translate ports to neighbor IDs (the
+// accessible mapping P_v equals P̂_v, the KT1-style assumption) is a
+// property of the simulation, not of the graph.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+)
+
+// Vertex is a dense internal vertex index in [0, N).
+type Vertex int32
+
+// NilVertex is the sentinel "no vertex" value.
+const NilVertex Vertex = -1
+
+// NoID is the sentinel identifier meaning "unassigned".
+const NoID int64 = -1
+
+// Graph is an immutable undirected simple graph with unique vertex IDs
+// and a fixed port numbering. Construct one with a Builder or one of the
+// generators; a zero Graph is empty and unusable.
+type Graph struct {
+	ids    []int64          // index -> identifier
+	byID   map[int64]Vertex // identifier -> index
+	adj    [][]Vertex       // adj[v][p] = neighbor of v behind port p
+	sorted [][]Vertex       // per-vertex sorted adjacency, for HasEdge
+	nPrime int64            // ID-space bound n' (all IDs are in [0, n'))
+	minDeg int
+	maxDeg int
+	edges  int
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.ids) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.edges }
+
+// NPrime returns the ID-space bound n': every vertex ID lies in [0, n').
+func (g *Graph) NPrime() int64 { return g.nPrime }
+
+// MinDegree returns δ(G), the minimum vertex degree.
+func (g *Graph) MinDegree() int { return g.minDeg }
+
+// MaxDegree returns ∆(G), the maximum vertex degree.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// ID returns the identifier of vertex v.
+func (g *Graph) ID(v Vertex) int64 { return g.ids[v] }
+
+// VertexByID returns the vertex with the given identifier.
+func (g *Graph) VertexByID(id int64) (Vertex, bool) {
+	v, ok := g.byID[id]
+	return v, ok
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v Vertex) int { return len(g.adj[v]) }
+
+// Neighbor returns the neighbor of v behind local port p.
+func (g *Graph) Neighbor(v Vertex, p int) Vertex { return g.adj[v][p] }
+
+// Adj returns the adjacency list of v in port order. The returned slice
+// is shared with the graph and must not be modified; use Neighbors for
+// an owned copy.
+func (g *Graph) Adj(v Vertex) []Vertex { return g.adj[v] }
+
+// Neighbors returns a copy of the adjacency list of v in port order.
+func (g *Graph) Neighbors(v Vertex) []Vertex {
+	return slices.Clone(g.adj[v])
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v Vertex) bool {
+	if u == v {
+		return false
+	}
+	// Search the smaller of the two sorted lists.
+	a := g.sorted[u]
+	if len(g.sorted[v]) < len(a) {
+		a, v = g.sorted[v], u
+	}
+	_, ok := slices.BinarySearch(a, v)
+	return ok
+}
+
+// PortTo returns the local port of u leading to v, or -1 if u and v are
+// not adjacent. It runs in O(deg(u)).
+func (g *Graph) PortTo(u, v Vertex) int {
+	for p, w := range g.adj[u] {
+		if w == v {
+			return p
+		}
+	}
+	return -1
+}
+
+// IDsOfNeighbors appends the identifiers of v's neighbors, in port
+// order, to dst and returns the extended slice.
+func (g *Graph) IDsOfNeighbors(v Vertex, dst []int64) []int64 {
+	for _, w := range g.adj[v] {
+		dst = append(dst, g.ids[w])
+	}
+	return dst
+}
+
+// Validate checks the structural invariants of the graph: symmetric
+// adjacency, no self-loops, no parallel edges, distinct in-range IDs.
+// Graphs produced by a Builder or the generators always validate; the
+// method exists for graphs decoded from untrusted input and for tests.
+func (g *Graph) Validate() error {
+	n := g.N()
+	if int64(n) > g.nPrime {
+		return fmt.Errorf("graph: n=%d exceeds ID space n'=%d", n, g.nPrime)
+	}
+	seen := make(map[int64]Vertex, n)
+	for v, id := range g.ids {
+		if id < 0 || id >= g.nPrime {
+			return fmt.Errorf("graph: vertex %d has ID %d outside [0, %d)", v, id, g.nPrime)
+		}
+		if prev, dup := seen[id]; dup {
+			return fmt.Errorf("graph: vertices %d and %d share ID %d", prev, v, id)
+		}
+		seen[id] = Vertex(v)
+	}
+	edges := 0
+	for v := range g.adj {
+		local := make(map[Vertex]struct{}, len(g.adj[v]))
+		for _, w := range g.adj[v] {
+			if w == Vertex(v) {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if int(w) < 0 || int(w) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if _, dup := local[w]; dup {
+				return fmt.Errorf("graph: parallel edge %d-%d", v, w)
+			}
+			local[w] = struct{}{}
+			if !g.HasEdge(w, Vertex(v)) {
+				return fmt.Errorf("graph: edge %d-%d is not symmetric", v, w)
+			}
+			edges++
+		}
+	}
+	if edges%2 != 0 {
+		return errors.New("graph: odd total arc count")
+	}
+	if edges/2 != g.edges {
+		return fmt.Errorf("graph: edge count %d does not match recorded %d", edges/2, g.edges)
+	}
+	return nil
+}
+
+// finish computes the derived fields of a graph whose ids, adj and
+// nPrime fields are populated.
+func (g *Graph) finish() {
+	n := len(g.ids)
+	g.byID = make(map[int64]Vertex, n)
+	for v, id := range g.ids {
+		g.byID[id] = Vertex(v)
+	}
+	g.sorted = make([][]Vertex, n)
+	g.minDeg = 0
+	g.maxDeg = 0
+	g.edges = 0
+	for v := range g.adj {
+		s := slices.Clone(g.adj[v])
+		slices.Sort(s)
+		g.sorted[v] = s
+		d := len(s)
+		g.edges += d
+		if v == 0 || d < g.minDeg {
+			g.minDeg = d
+		}
+		if d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+	g.edges /= 2
+}
+
+// FromAdjacency constructs a graph directly from an ID table and an
+// adjacency structure (which fixes the port numbering verbatim). The
+// input slices are cloned. It returns an error if the structure is not
+// a simple undirected graph with distinct IDs in [0, nPrime).
+func FromAdjacency(ids []int64, adj [][]Vertex, nPrime int64) (*Graph, error) {
+	if len(ids) != len(adj) {
+		return nil, fmt.Errorf("graph: %d IDs for %d adjacency rows", len(ids), len(adj))
+	}
+	g := &Graph{
+		ids:    slices.Clone(ids),
+		adj:    make([][]Vertex, len(adj)),
+		nPrime: nPrime,
+	}
+	for v := range adj {
+		g.adj[v] = slices.Clone(adj[v])
+	}
+	g.finish()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		ids:    slices.Clone(g.ids),
+		adj:    make([][]Vertex, len(g.adj)),
+		nPrime: g.nPrime,
+	}
+	for v := range g.adj {
+		ng.adj[v] = slices.Clone(g.adj[v])
+	}
+	ng.finish()
+	return ng
+}
+
+// Equal reports whether g and h have identical vertex IDs, ID-space
+// bounds, and adjacency lists (including port order).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() || g.nPrime != h.nPrime || !slices.Equal(g.ids, h.ids) {
+		return false
+	}
+	for v := range g.adj {
+		if !slices.Equal(g.adj[v], h.adj[v]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns a short human-readable summary, not the full structure.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d m=%d δ=%d ∆=%d n'=%d)", g.N(), g.M(), g.minDeg, g.maxDeg, g.nPrime)
+}

@@ -1,0 +1,136 @@
+package graph
+
+import "fmt"
+
+// This file holds the lower-bound graph families from Section 5 of the
+// paper (Figures 1–3). Each generator returns the designated start
+// vertices alongside the graph; internal/lower wraps these into full
+// experiment instances.
+
+// TwoStars returns the Figure 1(a) instance: two stars of half+1
+// vertices whose centers are joined by an edge. The returned vertices
+// are the two centers (the agents' initial locations). The graph has
+// n = 2·half+2 vertices, δ = 1 and ∆ = half+1, so a sublinear-time
+// algorithm would need o(∆) = o(n) rounds — impossible per Theorem 3.
+func TwoStars(half int) (g *Graph, centerA, centerB Vertex, err error) {
+	if half < 1 {
+		return nil, NilVertex, NilVertex, fmt.Errorf("graph: two-stars needs half ≥ 1, got %d", half)
+	}
+	n := 2*half + 2
+	b := NewBuilder(n)
+	centerA, centerB = 0, Vertex(half+1)
+	for i := 1; i <= half; i++ {
+		b.MustAddEdge(centerA, Vertex(i))
+		b.MustAddEdge(centerB, centerB+Vertex(i))
+	}
+	b.MustAddEdge(centerA, centerB)
+	g, err = b.Build()
+	return g, centerA, centerB, err
+}
+
+// StarCliquePair returns the Figure 1(b) instance generalizing
+// TwoStars to minimum degree δ = Θ(n/∆): two center vertices joined by
+// an edge, each additionally adjacent to one vertex in each of `arms`
+// disjoint cliques of `cliqueSize` vertices. The centers have degree
+// arms+1 = Θ(∆); clique vertices have degree cliqueSize-1 or
+// cliqueSize, so δ = cliqueSize-1. Total n = 2·(1 + arms·cliqueSize).
+func StarCliquePair(arms, cliqueSize int) (g *Graph, centerA, centerB Vertex, err error) {
+	if arms < 1 || cliqueSize < 2 {
+		return nil, NilVertex, NilVertex,
+			fmt.Errorf("graph: star-clique needs arms ≥ 1, cliqueSize ≥ 2, got %d, %d", arms, cliqueSize)
+	}
+	side := 1 + arms*cliqueSize
+	n := 2 * side
+	b := NewBuilder(n)
+	centerA, centerB = 0, Vertex(side)
+	buildSide := func(center Vertex) {
+		base := center + 1
+		for a := 0; a < arms; a++ {
+			first := base + Vertex(a*cliqueSize)
+			// The first vertex of each clique is the center's contact.
+			b.MustAddEdge(center, first)
+			for i := 0; i < cliqueSize; i++ {
+				for j := i + 1; j < cliqueSize; j++ {
+					b.MustAddEdge(first+Vertex(i), first+Vertex(j))
+				}
+			}
+		}
+	}
+	buildSide(centerA)
+	buildSide(centerB)
+	b.MustAddEdge(centerA, centerB)
+	g, err = b.Build()
+	return g, centerA, centerB, err
+}
+
+// BridgedCliquePair returns the Figure 2 (Theorem 4) instance used for
+// the KT0 lower bound: two cliques C1, C2 of n/2 vertices each, with
+// the edges (a0,x1) and (b0,x2) removed and the bridges (a0,b0) and
+// (x1,x2) added. In the KT0 model (ports carry no ID information) the
+// bridge ports are indistinguishable from the removed clique edges'
+// ports. n must be even and ≥ 6. a0 and b0 are the agents' initial
+// locations; x1 ∈ C1 and x2 ∈ C2 are the secondary bridge endpoints.
+func BridgedCliquePair(n int) (g *Graph, a0, b0, x1, x2 Vertex, err error) {
+	if n < 6 || n%2 != 0 {
+		return nil, NilVertex, NilVertex, NilVertex, NilVertex,
+			fmt.Errorf("graph: bridged clique pair needs even n ≥ 6, got %d", n)
+	}
+	half := n / 2
+	b := NewBuilder(n)
+	// C1 on [0, half), C2 on [half, n).
+	a0, x1 = 0, Vertex(half-1)
+	b0, x2 = Vertex(half), Vertex(n-1)
+	addClique := func(lo, hi Vertex, skipU, skipV Vertex) {
+		for u := lo; u < hi; u++ {
+			for v := u + 1; v < hi; v++ {
+				if u == skipU && v == skipV {
+					continue
+				}
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	addClique(0, Vertex(half), a0, x1)
+	addClique(Vertex(half), Vertex(n), b0, x2)
+	// The bridge edges take the port slots the removed edges vacated
+	// only in the sense that degrees are preserved; in KT0 mode the
+	// simulator hides IDs, which is what makes them indistinguishable.
+	b.MustAddEdge(a0, b0)
+	b.MustAddEdge(x1, x2)
+	g, err = b.Build()
+	return g, a0, b0, x1, x2, err
+}
+
+// TwoCliquesSharing returns the Figure 3 (Theorem 5) instance: two
+// cliques of `size` vertices sharing exactly one vertex x. Total
+// n = 2·size-1 (odd), ∆ = n-1 at x, δ = size-1 = (n-1)/2. The agents
+// start at cA and cB, one inside each clique, at distance 2 from each
+// other (both adjacent to x but not to each other).
+func TwoCliquesSharing(size int) (g *Graph, cA, cB, x Vertex, err error) {
+	if size < 3 {
+		return nil, NilVertex, NilVertex, NilVertex,
+			fmt.Errorf("graph: shared-vertex cliques need size ≥ 3, got %d", size)
+	}
+	n := 2*size - 1
+	b := NewBuilder(n)
+	// Clique 1 on [0, size); clique 2 on {size-1} ∪ [size, n).
+	x = Vertex(size - 1)
+	for u := 0; u < size; u++ {
+		for v := u + 1; v < size; v++ {
+			b.MustAddEdge(Vertex(u), Vertex(v))
+		}
+	}
+	second := make([]Vertex, 0, size)
+	second = append(second, x)
+	for v := size; v < n; v++ {
+		second = append(second, Vertex(v))
+	}
+	for i := 0; i < len(second); i++ {
+		for j := i + 1; j < len(second); j++ {
+			b.MustAddEdge(second[i], second[j])
+		}
+	}
+	cA, cB = 0, Vertex(size)
+	g, err = b.Build()
+	return g, cA, cB, x, err
+}

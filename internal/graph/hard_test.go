@@ -1,0 +1,114 @@
+package graph
+
+import "testing"
+
+func TestTwoStars(t *testing.T) {
+	g, ca, cb, err := TwoStars(10)
+	if err != nil {
+		t.Fatalf("TwoStars: %v", err)
+	}
+	if g.N() != 22 {
+		t.Fatalf("n = %d, want 22", g.N())
+	}
+	if !g.HasEdge(ca, cb) {
+		t.Fatal("centers not adjacent")
+	}
+	if g.Degree(ca) != 11 || g.Degree(cb) != 11 {
+		t.Fatalf("center degrees %d, %d, want 11", g.Degree(ca), g.Degree(cb))
+	}
+	if g.MinDegree() != 1 {
+		t.Fatalf("δ = %d, want 1", g.MinDegree())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if _, _, _, err := TwoStars(0); err == nil {
+		t.Error("TwoStars(0) succeeded, want error")
+	}
+}
+
+func TestStarCliquePair(t *testing.T) {
+	arms, size := 5, 4
+	g, ca, cb, err := StarCliquePair(arms, size)
+	if err != nil {
+		t.Fatalf("StarCliquePair: %v", err)
+	}
+	wantN := 2 * (1 + arms*size)
+	if g.N() != wantN {
+		t.Fatalf("n = %d, want %d", g.N(), wantN)
+	}
+	if !g.HasEdge(ca, cb) {
+		t.Fatal("centers not adjacent")
+	}
+	if g.Degree(ca) != arms+1 {
+		t.Fatalf("center degree %d, want %d", g.Degree(ca), arms+1)
+	}
+	// Clique vertices have degree size-1, contacts size.
+	if g.MinDegree() != size-1 {
+		t.Fatalf("δ = %d, want %d", g.MinDegree(), size-1)
+	}
+	if !IsConnected(g) {
+		t.Fatal("disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBridgedCliquePair(t *testing.T) {
+	g, a0, b0, x1, x2, err := BridgedCliquePair(12)
+	if err != nil {
+		t.Fatalf("BridgedCliquePair: %v", err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("n = %d, want 12", g.N())
+	}
+	if !g.HasEdge(a0, b0) || !g.HasEdge(x1, x2) {
+		t.Fatal("bridge edges missing")
+	}
+	if g.HasEdge(a0, x1) || g.HasEdge(b0, x2) {
+		t.Fatal("removed clique edges still present")
+	}
+	// Degrees all equal n/2-1: clique degree n/2-1, minus removed edge,
+	// plus bridge.
+	if g.MinDegree() != 5 || g.MaxDegree() != 5 {
+		t.Fatalf("degrees δ=%d ∆=%d, want 5, 5", g.MinDegree(), g.MaxDegree())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, bad := range []int{5, 7, 4} {
+		if _, _, _, _, _, err := BridgedCliquePair(bad); err == nil {
+			t.Errorf("BridgedCliquePair(%d) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestTwoCliquesSharing(t *testing.T) {
+	size := 6
+	g, cA, cB, x, err := TwoCliquesSharing(size)
+	if err != nil {
+		t.Fatalf("TwoCliquesSharing: %v", err)
+	}
+	if g.N() != 2*size-1 {
+		t.Fatalf("n = %d, want %d", g.N(), 2*size-1)
+	}
+	if g.Degree(x) != g.N()-1 {
+		t.Fatalf("shared vertex degree %d, want %d", g.Degree(x), g.N()-1)
+	}
+	if g.MinDegree() != size-1 {
+		t.Fatalf("δ = %d, want %d", g.MinDegree(), size-1)
+	}
+	if d := Dist(g, cA, cB); d != 2 {
+		t.Fatalf("dist(cA, cB) = %d, want 2", d)
+	}
+	if !g.HasEdge(cA, x) || !g.HasEdge(cB, x) {
+		t.Fatal("start vertices not adjacent to shared vertex")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if _, _, _, _, err := TwoCliquesSharing(2); err == nil {
+		t.Error("TwoCliquesSharing(2) succeeded, want error")
+	}
+}

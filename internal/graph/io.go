@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format preserves IDs, the ID-space bound, and the exact port
+// order of every adjacency list:
+//
+//	fnr-graph v1
+//	n=<n> nprime=<n'>
+//	ids <id0> <id1> ... <id_{n-1}>
+//	adj <v> <w0> <w1> ...        (one line per vertex, ports in order)
+//	end
+//
+// Vertices in adj lines are internal indices, not IDs.
+
+const formatHeader = "fnr-graph v1"
+
+// WriteTo serializes g in the fnr-graph v1 text format.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	count := func(n int, err error) error {
+		total += int64(n)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "%s\nn=%d nprime=%d\nids", formatHeader, g.N(), g.nPrime)); err != nil {
+		return total, err
+	}
+	for _, id := range g.ids {
+		if err := count(fmt.Fprintf(bw, " %d", id)); err != nil {
+			return total, err
+		}
+	}
+	if err := count(fmt.Fprintln(bw)); err != nil {
+		return total, err
+	}
+	for v := range g.adj {
+		if err := count(fmt.Fprintf(bw, "adj %d", v)); err != nil {
+			return total, err
+		}
+		for _, u := range g.adj[v] {
+			if err := count(fmt.Fprintf(bw, " %d", u)); err != nil {
+				return total, err
+			}
+		}
+		if err := count(fmt.Fprintln(bw)); err != nil {
+			return total, err
+		}
+	}
+	if err := count(fmt.Fprintln(bw, "end")); err != nil {
+		return total, err
+	}
+	return total, bw.Flush()
+}
+
+// Read parses a graph in the fnr-graph v1 text format and validates it.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<26)
+	line := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+	hdr, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if strings.TrimSpace(hdr) != formatHeader {
+		return nil, fmt.Errorf("graph: bad header %q", hdr)
+	}
+	sizes, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading sizes: %w", err)
+	}
+	var n int
+	var nPrime int64
+	if _, err := fmt.Sscanf(strings.TrimSpace(sizes), "n=%d nprime=%d", &n, &nPrime); err != nil {
+		return nil, fmt.Errorf("graph: bad size line %q: %w", sizes, err)
+	}
+	if n < 0 || n > 1<<28 {
+		return nil, fmt.Errorf("graph: unreasonable n=%d", n)
+	}
+	idLine, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading ids: %w", err)
+	}
+	fields := strings.Fields(idLine)
+	if len(fields) != n+1 || fields[0] != "ids" {
+		return nil, fmt.Errorf("graph: bad ids line (%d fields for n=%d)", len(fields), n)
+	}
+	ids := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ids[i], err = strconv.ParseInt(fields[i+1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad id %q: %w", fields[i+1], err)
+		}
+	}
+	adj := make([][]Vertex, n)
+	for i := 0; i < n; i++ {
+		row, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading adj row %d: %w", i, err)
+		}
+		fields = strings.Fields(row)
+		if len(fields) < 2 || fields[0] != "adj" {
+			return nil, fmt.Errorf("graph: bad adj line %q", row)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v != i {
+			return nil, fmt.Errorf("graph: adj row %d labeled %q", i, fields[1])
+		}
+		neigh := make([]Vertex, 0, len(fields)-2)
+		for _, f := range fields[2:] {
+			w, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad neighbor %q: %w", f, err)
+			}
+			neigh = append(neigh, Vertex(w))
+		}
+		adj[i] = neigh
+	}
+	tail, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading trailer: %w", err)
+	}
+	if strings.TrimSpace(tail) != "end" {
+		return nil, fmt.Errorf("graph: bad trailer %q", tail)
+	}
+	return FromAdjacency(ids, adj, nPrime)
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	g, err := PlantedMinDegree(40, 7, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	h, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestRoundTripSparseIDs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	b := NewBuilder(10)
+	for v := 0; v < 9; v++ {
+		b.MustAddEdge(Vertex(v), Vertex(v+1))
+	}
+	if err := b.SparseIDs(100, rng); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	h, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !g.Equal(h) || h.NPrime() != 1000 {
+		t.Fatalf("round trip mismatch, nPrime=%d", h.NPrime())
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "not-a-graph\n",
+		"bad sizes":   "fnr-graph v1\nn=x nprime=y\n",
+		"short ids":   "fnr-graph v1\nn=3 nprime=3\nids 0 1\n",
+		"bad trailer": "fnr-graph v1\nn=1 nprime=1\nids 0\nadj 0\nnot-end\n",
+		"asymmetric":  "fnr-graph v1\nn=2 nprime=2\nids 0 1\nadj 0 1\nadj 1\nend\n",
+		"loop":        "fnr-graph v1\nn=1 nprime=1\nids 0\nadj 0 0\nend\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(in)); err == nil {
+				t.Fatalf("Read accepted %q", in)
+			}
+		})
+	}
+}
+
+// Property: encode→decode is the identity on random planted graphs.
+func TestRoundTripProperty(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := 5 + int(nRaw)%60
+		rng := rand.New(rand.NewPCG(seed, 99))
+		g, err := PlantedMinDegree(n, 2+n/10, rng)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		h, err := Read(&buf)
+		return err == nil && g.Equal(h)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,21 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPrintQuickTables is a development aid: FNR_PRINT=1 go test -run PrintQuick
+func TestPrintQuickTables(t *testing.T) {
+	if os.Getenv("FNR_PRINT") == "" {
+		t.Skip("set FNR_PRINT=1 to print")
+	}
+	cfg := Config{Quick: true, Seeds: 3}
+	for _, e := range All() {
+		tb, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		t.Logf("\n%s", tb.Render())
+	}
+}

@@ -1,0 +1,244 @@
+package lower
+
+import (
+	"fmt"
+	"slices"
+
+	"fnr/internal/graph"
+)
+
+// lazyRun is the outcome of Lemma 9's adaptive construction for one
+// agent: the finished graph G_t (as an ID-keyed adjacency), the pool P,
+// and the unvisited pool W = P \ Q_t.
+type lazyRun struct {
+	ids       []int64
+	adj       map[int64]map[int64]struct{}
+	start     int64
+	pool      []int64
+	poolSet   map[int64]struct{}
+	visited   map[int64]struct{}
+	unvisited []int64 // W, sorted
+}
+
+// buildLazy runs the deterministic agent for t rounds on the adaptively
+// grown graph of Lemma 9. The initial edge set is
+// E₀ = {(start,u) : u ∈ ids\{start}} ∪ clique(ids \ pool \ {start});
+// whenever the agent moves to an unvisited pool vertex v, edges from v
+// to every vertex of P\Q are added before the agent observes v's
+// neighborhood. Views presented to the agent list neighbors in
+// ascending ID order (DetAgents must be order-independent anyway).
+func buildLazy(ids []int64, start int64, pool []int64, agent DetAgent, t int) (*lazyRun, error) {
+	r := &lazyRun{
+		ids:     slices.Clone(ids),
+		adj:     make(map[int64]map[int64]struct{}, len(ids)),
+		start:   start,
+		pool:    slices.Clone(pool),
+		poolSet: make(map[int64]struct{}, len(pool)),
+		visited: map[int64]struct{}{start: {}},
+	}
+	for _, id := range ids {
+		r.adj[id] = make(map[int64]struct{})
+	}
+	addEdge := func(u, v int64) {
+		if u == v {
+			return
+		}
+		r.adj[u][v] = struct{}{}
+		r.adj[v][u] = struct{}{}
+	}
+	inIDs := make(map[int64]struct{}, len(ids))
+	for _, id := range ids {
+		inIDs[id] = struct{}{}
+	}
+	if _, ok := inIDs[start]; !ok {
+		return nil, fmt.Errorf("lower: start %d not in ID space", start)
+	}
+	for _, p := range pool {
+		if _, ok := inIDs[p]; !ok || p == start {
+			return nil, fmt.Errorf("lower: pool vertex %d invalid", p)
+		}
+		r.poolSet[p] = struct{}{}
+	}
+	// E₀: star on start, clique on P̄ = ids \ pool \ {start}.
+	var pbar []int64
+	for _, id := range ids {
+		if id == start {
+			continue
+		}
+		addEdge(start, id)
+		if _, inPool := r.poolSet[id]; !inPool {
+			pbar = append(pbar, id)
+		}
+	}
+	for i := 0; i < len(pbar); i++ {
+		for j := i + 1; j < len(pbar); j++ {
+			addEdge(pbar[i], pbar[j])
+		}
+	}
+	// Drive the agent.
+	cur := start
+	nbs := make([]int64, 0, len(ids))
+	for round := 0; round < t; round++ {
+		nbs = nbs[:0]
+		for u := range r.adj[cur] {
+			nbs = append(nbs, u)
+		}
+		slices.Sort(nbs)
+		next := agent.Next(cur, nbs)
+		if next != cur {
+			if _, adjacent := r.adj[cur][next]; !adjacent {
+				return nil, fmt.Errorf("lower: agent moved %d -> %d along a non-edge", cur, next)
+			}
+			_, inPool := r.poolSet[next]
+			_, seen := r.visited[next]
+			if inPool && !seen {
+				// Reveal next's neighborhood: edges to all of P\Q.
+				for _, p := range r.pool {
+					if _, v := r.visited[p]; !v {
+						addEdge(next, p)
+					}
+				}
+			}
+			r.visited[next] = struct{}{}
+			cur = next
+		}
+	}
+	for _, p := range r.pool {
+		if _, seen := r.visited[p]; !seen {
+			r.unvisited = append(r.unvisited, p)
+		}
+	}
+	slices.Sort(r.unvisited)
+	return r, nil
+}
+
+// Theorem6Instance builds the Theorem-6 hard instance for a pair of
+// deterministic algorithms, following the proof: run the adaptive
+// adversary separately against each agent on its own n/2+1-vertex ID
+// space, pick bridge endpoints j ∈ W_b and k ∈ W_a, glue the two
+// graphs along the edge (j, k), and densify the unvisited pools with a
+// complete bipartite graph between W_a\{k} and W_b\{j} so the minimum
+// degree is Θ(n). Both agents provably ignore the bridge for the first
+// n/32 rounds.
+//
+// mkA and mkB construct fresh instances of the two deterministic
+// algorithms. n must be a multiple of 32 and at least 64.
+func Theorem6Instance(n int, mkA, mkB func() DetAgent) (*Instance, error) {
+	if n < 64 || n%32 != 0 {
+		return nil, fmt.Errorf("lower: Theorem 6 instance needs n ≥ 64, multiple of 32; got %d", n)
+	}
+	t := n / 32
+	half := n / 2
+	pbarSize := n / 16
+
+	// The proof's counting argument guarantees some pair (j, k) with
+	// k ∈ W(a,j) and j ∈ W(b,k): search candidate bridge endpoints
+	// j ∈ pool_b = [half, n-pbarSize) and k ∈ W(a,j) until one works
+	// (each agent visits at most t+1 vertices, so almost all pairs do).
+	// P̄_a is the lowest pbarSize IDs of a's space and P̄_b the highest
+	// of b's, keeping both bridge endpoints inside the pools.
+	idsB := make([]int64, 0, half+1)
+	for v := half; v < n; v++ {
+		idsB = append(idsB, int64(v))
+	}
+	var poolB []int64
+	for v := half; v < n-pbarSize; v++ {
+		poolB = append(poolB, int64(v))
+	}
+	var (
+		runA, runB *lazyRun
+		j, k       int64 = -1, -1
+		bRuns      int
+	)
+	const maxBRuns = 512
+searchJ:
+	for jIdx := len(poolB) - 1; jIdx >= 0; jIdx-- {
+		jCand := poolB[jIdx]
+		idsA := make([]int64, 0, half+1)
+		for v := 0; v < half; v++ {
+			idsA = append(idsA, int64(v))
+		}
+		idsA = append(idsA, jCand)
+		var poolA []int64
+		for v := pbarSize; v < half; v++ {
+			poolA = append(poolA, int64(v))
+		}
+		ra, err := buildLazy(idsA, jCand, poolA, mkA(), t)
+		if err != nil {
+			return nil, fmt.Errorf("lower: adversary vs agent a: %w", err)
+		}
+		for _, kCand := range ra.unvisited {
+			if bRuns >= maxBRuns {
+				break searchJ
+			}
+			bRuns++
+			rb, err := buildLazy(append(slices.Clone(idsB), kCand), kCand, poolB, mkB(), t)
+			if err != nil {
+				return nil, fmt.Errorf("lower: adversary vs agent b: %w", err)
+			}
+			if _, visitedJ := rb.visited[jCand]; !visitedJ {
+				runA, runB, j, k = ra, rb, jCand, kCand
+				break searchJ
+			}
+		}
+	}
+	if runB == nil {
+		return nil, fmt.Errorf("lower: no bridge pair (j,k) found within %d adversary runs", bRuns)
+	}
+
+	// Glue on vertex IDs [0, n): union of both adjacencies plus the
+	// bipartite densification W_a\{k} × W_b\{j}. The (j,k) edge is
+	// already present in both runs' E₀.
+	b := graph.NewBuilder(n)
+	addRun := func(r *lazyRun) {
+		// Deterministic edge order (sorted IDs): the port numbering of
+		// the glued instance must not depend on map iteration.
+		us := make([]int64, 0, len(r.adj))
+		for u := range r.adj {
+			us = append(us, u)
+		}
+		slices.Sort(us)
+		for _, u := range us {
+			vs := make([]int64, 0, len(r.adj[u]))
+			for v := range r.adj[u] {
+				if v > u {
+					vs = append(vs, v)
+				}
+			}
+			slices.Sort(vs)
+			for _, v := range vs {
+				if !b.HasEdge(graph.Vertex(u), graph.Vertex(v)) {
+					b.MustAddEdge(graph.Vertex(u), graph.Vertex(v))
+				}
+			}
+		}
+	}
+	addRun(runA)
+	addRun(runB)
+	for _, u := range runA.unvisited {
+		if u == k {
+			continue
+		}
+		for _, v := range runB.unvisited {
+			if v == j {
+				continue
+			}
+			if !b.HasEdge(graph.Vertex(u), graph.Vertex(v)) {
+				b.MustAddEdge(graph.Vertex(u), graph.Vertex(v))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("lower: gluing Theorem 6 instance: %w", err)
+	}
+	return &Instance{
+		Name:       "deterministic-adversary",
+		G:          g,
+		StartA:     graph.Vertex(j),
+		StartB:     graph.Vertex(k),
+		LowerBound: int64(t),
+		Note: fmt.Sprintf("Theorem 6 / Lemma 9: adaptive adversary; |W_a|=%d, |W_b|=%d, bridge (%d,%d)",
+			len(runA.unvisited), len(runB.unvisited), j, k),
+	}, nil
+}

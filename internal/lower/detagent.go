@@ -1,0 +1,121 @@
+package lower
+
+import (
+	"slices"
+
+	"fnr/internal/sim"
+)
+
+// DetAgent is a deterministic mobile-agent algorithm in the paper's
+// model, expressed as a pure state machine: given the current vertex ID
+// and the set of neighbor IDs, return the ID to move to (returning the
+// current ID means stay). Implementations must depend only on the SET
+// of neighbor IDs, never on their order, because the adaptive adversary
+// (Lemma 9) and the final glued instance may present ports in different
+// orders.
+type DetAgent interface {
+	Next(hereID int64, neighborIDs []int64) int64
+}
+
+// AsProgram adapts a deterministic agent to the simulator. The agent
+// must be a fresh instance (state machines are single-use).
+func AsProgram(d DetAgent) sim.Program {
+	return func(e *sim.Env) {
+		for {
+			target := d.Next(e.HereID(), e.NeighborIDs())
+			if target == e.HereID() {
+				e.Stay()
+				continue
+			}
+			if err := e.MoveToID(target); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// greedySweep visits the start vertex's neighbors in ascending ID
+// order, returning home between visits, then stays forever. This is the
+// deterministic form of the trivial O(∆) algorithm.
+type greedySweep struct {
+	init    bool
+	desc    bool
+	home    int64
+	targets []int64
+	idx     int
+}
+
+// NewGreedySweep returns a fresh deterministic neighbor sweeper
+// (ascending ID order).
+func NewGreedySweep() DetAgent { return &greedySweep{} }
+
+func (s *greedySweep) Next(here int64, nbs []int64) int64 {
+	if !s.init {
+		s.init = true
+		s.home = here
+		s.targets = slices.Clone(nbs)
+		slices.Sort(s.targets)
+		if s.desc {
+			slices.Reverse(s.targets)
+		}
+	}
+	if here != s.home {
+		return s.home
+	}
+	if s.idx >= len(s.targets) {
+		return here // sweep done; stay
+	}
+	t := s.targets[s.idx]
+	s.idx++
+	return t
+}
+
+// NewGreedySweepDesc returns a sweeper that visits neighbors in
+// DESCENDING ID order — it attacks the top of the ID space first, the
+// opposite bias of NewGreedySweep, which stresses the Theorem-6
+// adversary's bridge search from the other side.
+func NewGreedySweepDesc() DetAgent { return &greedySweep{desc: true} }
+
+// lexDFS explores depth-first, always descending to the smallest
+// unvisited neighbor ID and backtracking when none remains.
+type lexDFS struct {
+	init    bool
+	visited map[int64]bool
+	path    []int64
+}
+
+// NewLexDFS returns a fresh deterministic lexicographic DFS explorer.
+func NewLexDFS() DetAgent { return &lexDFS{} }
+
+func (d *lexDFS) Next(here int64, nbs []int64) int64 {
+	if !d.init {
+		d.init = true
+		d.visited = map[int64]bool{here: true}
+	}
+	next := int64(-1)
+	for _, u := range nbs {
+		if !d.visited[u] && (next < 0 || u < next) {
+			next = u
+		}
+	}
+	if next >= 0 {
+		d.visited[next] = true
+		d.path = append(d.path, here)
+		return next
+	}
+	if len(d.path) == 0 {
+		return here // fully explored; stay
+	}
+	parent := d.path[len(d.path)-1]
+	d.path = d.path[:len(d.path)-1]
+	return parent
+}
+
+// stayPut never moves: the deterministic "wait" half of a
+// wait/search pair.
+type stayPut struct{}
+
+// NewStayPut returns the deterministic agent that never moves.
+func NewStayPut() DetAgent { return stayPut{} }
+
+func (stayPut) Next(here int64, _ []int64) int64 { return here }

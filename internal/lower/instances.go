@@ -1,0 +1,119 @@
+// Package lower builds the hard instances behind the paper's four
+// impossibility results (§5):
+//
+//   - Theorem 3 / Fig. 1: minimum degree o(√n) — two-star and
+//     star-clique instances,
+//   - Theorem 4 / Fig. 2: no neighborhood-ID access (KT0) — glued
+//     clique pairs whose bridges are indistinguishable from clique
+//     edges,
+//   - Theorem 5 / Fig. 3: initial distance two — cliques sharing one
+//     vertex,
+//   - Theorem 6 / Lemma 9: deterministic algorithms — an adaptive
+//     adversary that grows the graph in response to the agent's moves.
+//
+// Each instance packages a graph, designated start vertices, the
+// predicted lower bound, and the simulation mode it must run under.
+package lower
+
+import (
+	"fmt"
+
+	"fnr/internal/graph"
+)
+
+// Instance is a packaged lower-bound scenario.
+type Instance struct {
+	// Name identifies the family ("two-stars", "kt0-cliques", ...).
+	Name string
+	// G is the hard graph.
+	G *graph.Graph
+	// StartA and StartB are the agents' initial vertices.
+	StartA, StartB graph.Vertex
+	// LowerBound is a concrete round count below which the relevant
+	// theorem forbids reliable rendezvous (a conservative constant
+	// fraction of the Ω(·) argument).
+	LowerBound int64
+	// KT0 marks instances that must be simulated without neighbor-ID
+	// access (Theorem 4's model).
+	KT0 bool
+	// Note explains the construction.
+	Note string
+}
+
+// TwoStarsInstance builds the Figure 1(a) Theorem-3 instance on
+// n = 2·half+2 vertices: two stars with adjacent centers, δ = 1,
+// ∆ = half+1. Any algorithm needs Ω(∆) rounds with constant
+// probability.
+func TwoStarsInstance(half int) (*Instance, error) {
+	g, ca, cb, err := graph.TwoStars(half)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name:       "two-stars",
+		G:          g,
+		StartA:     ca,
+		StartB:     cb,
+		LowerBound: int64(g.MaxDegree()) / 8,
+		Note:       "Theorem 3 / Fig. 1(a): δ=1, ∆=Θ(n); agents must find the center-center edge among ∆ look-alike ports",
+	}, nil
+}
+
+// StarCliqueInstance builds the Figure 1(b) Theorem-3 instance with
+// δ = cliqueSize-1 = Θ(n/∆): centers of degree arms+1 attached to
+// cliques.
+func StarCliqueInstance(arms, cliqueSize int) (*Instance, error) {
+	g, ca, cb, err := graph.StarCliquePair(arms, cliqueSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name:       "star-clique",
+		G:          g,
+		StartA:     ca,
+		StartB:     cb,
+		LowerBound: int64(g.MaxDegree()) / 8,
+		Note:       "Theorem 3 / Fig. 1(b): δ=Θ(n/∆) via cliques replacing leaves",
+	}, nil
+}
+
+// KT0Instance builds the Figure 2 Theorem-4 instance on n vertices
+// (even, ≥ 6): two bridged cliques that are indistinguishable from
+// plain cliques without neighborhood IDs. Must be run in KT0 mode.
+func KT0Instance(n int) (*Instance, error) {
+	g, a0, b0, _, _, err := graph.BridgedCliquePair(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name:       "kt0-cliques",
+		G:          g,
+		StartA:     a0,
+		StartB:     b0,
+		LowerBound: int64(n) / 8,
+		KT0:        true,
+		Note:       "Theorem 4 / Fig. 2: without neighbor IDs the two bridge ports hide among n/2-1 clique ports",
+	}, nil
+}
+
+// Distance2Instance builds the Figure 3 Theorem-5 instance: two
+// cliques of `size` vertices sharing exactly one vertex, with the
+// agents starting at distance two (one per clique).
+func Distance2Instance(size int) (*Instance, error) {
+	g, ca, cb, x, err := graph.TwoCliquesSharing(size)
+	if err != nil {
+		return nil, err
+	}
+	if d := graph.Dist(g, ca, cb); d != 2 {
+		return nil, fmt.Errorf("lower: distance-2 instance has start distance %d", d)
+	}
+	_ = x
+	return &Instance{
+		Name:       "distance-2",
+		G:          g,
+		StartA:     ca,
+		StartB:     cb,
+		LowerBound: int64(g.N()) / 8,
+		Note:       "Theorem 5 / Fig. 3: both agents must locate the single shared vertex among Θ(n) candidates",
+	}, nil
+}

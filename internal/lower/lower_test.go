@@ -1,0 +1,318 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"fnr/internal/graph"
+	"fnr/internal/sim"
+)
+
+func TestInstanceBuilders(t *testing.T) {
+	ts, err := TwoStarsInstance(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.G.N() != 102 || !ts.G.HasEdge(ts.StartA, ts.StartB) {
+		t.Fatalf("two-stars: n=%d adjacent=%v", ts.G.N(), ts.G.HasEdge(ts.StartA, ts.StartB))
+	}
+	sc, err := StarCliqueInstance(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.G.MinDegree() != 4 {
+		t.Fatalf("star-clique δ = %d, want 4", sc.G.MinDegree())
+	}
+	kt, err := KT0Instance(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kt.KT0 {
+		t.Fatal("KT0 instance not marked KT0")
+	}
+	d2, err := Distance2Instance(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.Dist(d2.G, d2.StartA, d2.StartB) != 2 {
+		t.Fatal("distance-2 instance starts not at distance 2")
+	}
+}
+
+func TestGreedySweepDeterministic(t *testing.T) {
+	// On K5 with home 0 the sweep should visit 1,2,3,4 in order with
+	// returns: 1,0,2,0,3,0,4,0 then stay.
+	g, err := graph.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []graph.Vertex
+	_, err = sim.Run(sim.Config{
+		Graph: g, StartA: 0, StartB: 0, NeighborIDs: true,
+		MaxRounds: 12, DisableMeeting: true,
+		Observer: func(ev sim.RoundEvent) { trace = append(trace, ev.PosA) },
+	}, AsProgram(NewGreedySweep()), AsProgram(NewStayPut()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Vertex{0, 1, 0, 2, 0, 3, 0, 4, 0}
+	for i, w := range want {
+		if trace[i] != w {
+			t.Fatalf("trace[%d] = %d, want %d (full: %v)", i, trace[i], w, trace)
+		}
+	}
+}
+
+func TestLexDFSExploresAll(t *testing.T) {
+	g, err := graph.Grid(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[graph.Vertex]bool{}
+	_, err = sim.Run(sim.Config{
+		Graph: g, StartA: 0, StartB: 0, NeighborIDs: true,
+		MaxRounds: int64(4 * g.N()), DisableMeeting: true,
+		Observer: func(ev sim.RoundEvent) { seen[ev.PosA] = true },
+	}, AsProgram(NewLexDFS()), AsProgram(NewStayPut()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != g.N() {
+		t.Fatalf("lexDFS visited %d of %d vertices", len(seen), g.N())
+	}
+}
+
+func TestBuildLazyRespectsRules(t *testing.T) {
+	ids := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	pool := []int64{3, 4, 5, 6, 7, 8}
+	run, err := buildLazy(ids, 0, pool, NewGreedySweep(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sweep from 0 visits 1, 0, 2, 0 in four rounds; pool vertices
+	// stay unvisited.
+	if len(run.unvisited) != len(pool)-0 {
+		// vertices 1 and 2 are P̄, so no pool vertex was touched? The
+		// sweep visits ascending IDs 1,2,... in out-and-back pattern;
+		// 4 rounds reach only 1 and 2 (non-pool).
+		t.Fatalf("unvisited = %v, want all of pool", run.unvisited)
+	}
+	// P̄ = {1, 2} forms a clique (one edge) and start links everywhere.
+	if _, ok := run.adj[1][2]; !ok {
+		t.Fatal("P̄ clique edge missing")
+	}
+	if len(run.adj[0]) != 8 {
+		t.Fatalf("start degree %d, want 8", len(run.adj[0]))
+	}
+}
+
+func TestBuildLazyRevealsPoolEdges(t *testing.T) {
+	ids := []int64{0, 1, 2, 3, 4}
+	pool := []int64{1, 2, 3, 4}
+	// Sweep visits 1 (pool) on its first move: 1 must then link to all
+	// unvisited pool vertices {2, 3, 4}.
+	run, err := buildLazy(ids, 0, pool, NewGreedySweep(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{2, 3, 4} {
+		if _, ok := run.adj[1][v]; !ok {
+			t.Fatalf("revealed pool vertex 1 missing edge to %d", v)
+		}
+	}
+	if len(run.unvisited) != 3 {
+		t.Fatalf("unvisited = %v, want {2,3,4}", run.unvisited)
+	}
+}
+
+func TestTheorem6InstanceSweep(t *testing.T) {
+	n := 128
+	inst, err := Theorem6Instance(n, NewGreedySweep, NewGreedySweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.G.Validate(); err != nil {
+		t.Fatalf("instance graph invalid: %v", err)
+	}
+	// Lemma 9 (ii): minimum degree Θ(n). P̄ vertices have ≈ n/16.
+	if inst.G.MinDegree() < n/16-2 {
+		t.Fatalf("δ = %d, want ≥ n/16-2 = %d", inst.G.MinDegree(), n/16-2)
+	}
+	if !inst.G.HasEdge(inst.StartA, inst.StartB) {
+		t.Fatal("start vertices not adjacent (distance must be 1)")
+	}
+	// The theorem's guarantee: no meeting within n/32 rounds.
+	res, err := sim.Run(sim.Config{
+		Graph: inst.G, StartA: inst.StartA, StartB: inst.StartB,
+		NeighborIDs: true, MaxRounds: inst.LowerBound,
+	}, AsProgram(NewGreedySweep()), AsProgram(NewGreedySweep()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met {
+		t.Fatalf("agents met at round %d, theorem forbids meeting before %d", res.MeetRound, inst.LowerBound)
+	}
+	if !strings.Contains(inst.Note, "Theorem 6") {
+		t.Error("note missing provenance")
+	}
+}
+
+func TestTheorem6InstanceLexDFS(t *testing.T) {
+	n := 96
+	inst, err := Theorem6Instance(n, NewLexDFS, NewLexDFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Graph: inst.G, StartA: inst.StartA, StartB: inst.StartB,
+		NeighborIDs: true, MaxRounds: inst.LowerBound,
+	}, AsProgram(NewLexDFS()), AsProgram(NewLexDFS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met {
+		t.Fatalf("lexDFS agents met at round %d < %d", res.MeetRound, inst.LowerBound)
+	}
+}
+
+func TestTheorem6InstanceMixedPair(t *testing.T) {
+	inst, err := Theorem6Instance(64, NewGreedySweep, NewLexDFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Graph: inst.G, StartA: inst.StartA, StartB: inst.StartB,
+		NeighborIDs: true, MaxRounds: inst.LowerBound,
+	}, AsProgram(NewGreedySweep()), AsProgram(NewLexDFS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met {
+		t.Fatalf("mixed pair met at round %d < %d", res.MeetRound, inst.LowerBound)
+	}
+}
+
+func TestTheorem6RejectsBadN(t *testing.T) {
+	for _, n := range []int{10, 48, 100} {
+		if _, err := Theorem6Instance(n, NewGreedySweep, NewGreedySweep); err == nil {
+			t.Errorf("Theorem6Instance(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestSymmetricRingNeverMeets(t *testing.T) {
+	inst, err := SymmetricRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Identical deterministic port programs: any fixed sequence keeps
+	// the agents antipodal forever.
+	sequences := [][]int{{0}, {1}, {0, 1}, {0, 0, 1}}
+	for _, seq := range sequences {
+		mk := func() *SymmetricPortAgent { return NewSymmetricPortAgent(seq) }
+		progFor := func(a *SymmetricPortAgent) sim.Program {
+			return func(e *sim.Env) {
+				for {
+					p := a.NextPort(e.Degree())
+					if p < 0 {
+						e.Stay()
+						continue
+					}
+					if err := e.MoveToPort(p); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+		res, err := sim.Run(sim.Config{
+			Graph: inst.G, StartA: inst.StartA, StartB: inst.StartB,
+			NeighborIDs: false, MaxRounds: 2000,
+		}, progFor(mk()), progFor(mk()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Met {
+			t.Fatalf("sequence %v: symmetric agents met at round %d", seq, res.MeetRound)
+		}
+	}
+}
+
+func TestSymmetricRingPortStructure(t *testing.T) {
+	inst, err := SymmetricRing(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.G
+	for v := graph.Vertex(0); int(v) < g.N(); v++ {
+		if g.Neighbor(v, 0) != (v+1)%6 {
+			t.Fatalf("vertex %d port 0 leads to %d, want clockwise", v, g.Neighbor(v, 0))
+		}
+		if g.Neighbor(v, 1) != (v+5)%6 {
+			t.Fatalf("vertex %d port 1 leads to %d, want counter-clockwise", v, g.Neighbor(v, 1))
+		}
+	}
+	if _, err := SymmetricRing(5); err == nil {
+		t.Error("odd n accepted")
+	}
+	if _, err := SymmetricRing(2); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+// Randomization breaks the symmetry: the same instance with random
+// walkers meets quickly. This is the paper's motivation for the
+// randomized model.
+func TestSymmetricRingRandomizationEscapes(t *testing.T) {
+	inst, err := SymmetricRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := func(e *sim.Env) {
+		for {
+			if err := e.MoveToPort(e.Rand().IntN(e.Degree())); err != nil {
+				panic(err)
+			}
+		}
+	}
+	res, err := sim.Run(sim.Config{
+		Graph: inst.G, StartA: inst.StartA, StartB: inst.StartB,
+		NeighborIDs: false, Seed: 3, MaxRounds: 100000,
+	}, walk, walk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatal("random walkers failed to escape the symmetry trap")
+	}
+}
+
+// The descending sweeper attacks the TOP of the ID space, where the
+// adversary prefers to place the bridge — the search must route around
+// it and the instance must still hold.
+func TestTheorem6InstanceDescendingSweep(t *testing.T) {
+	for _, pair := range []struct {
+		name     string
+		mkA, mkB func() DetAgent
+	}{
+		{"desc/desc", NewGreedySweepDesc, NewGreedySweepDesc},
+		{"asc/desc", NewGreedySweep, NewGreedySweepDesc},
+	} {
+		inst, err := Theorem6Instance(128, pair.mkA, pair.mkB)
+		if err != nil {
+			t.Fatalf("%s: %v", pair.name, err)
+		}
+		res, err := sim.Run(sim.Config{
+			Graph: inst.G, StartA: inst.StartA, StartB: inst.StartB,
+			NeighborIDs: true, MaxRounds: inst.LowerBound,
+		}, AsProgram(pair.mkA()), AsProgram(pair.mkB()))
+		if err != nil {
+			t.Fatalf("%s: %v", pair.name, err)
+		}
+		if res.Met {
+			t.Fatalf("%s: met at round %d < %d", pair.name, res.MeetRound, inst.LowerBound)
+		}
+	}
+}

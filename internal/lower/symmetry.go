@@ -1,0 +1,74 @@
+package lower
+
+import (
+	"fmt"
+
+	"fnr/internal/graph"
+)
+
+// SymmetricRing builds the introduction's motivating impossibility: a
+// ring of n vertices (n even, ≥ 4) whose port numbering is rotationally
+// symmetric — port 0 always leads clockwise, port 1 counter-clockwise,
+// exactly the footnote's "edges of clockwise direction have port number
+// one" setup (up to renaming). Two agents at antipodal vertices running
+// the SAME deterministic port-based algorithm move identically and keep
+// their distance forever: rendezvous is unsolvable without symmetry
+// breaking.
+//
+// The instance must be run in KT0 mode with identical deterministic
+// programs for the impossibility to bind; IDs are assigned but a
+// symmetric algorithm by definition ignores them.
+func SymmetricRing(n int) (*Instance, error) {
+	if n < 4 || n%2 != 0 {
+		return nil, fmt.Errorf("lower: symmetric ring needs even n ≥ 4, got %d", n)
+	}
+	ids := make([]int64, n)
+	adj := make([][]graph.Vertex, n)
+	for v := 0; v < n; v++ {
+		ids[v] = int64(v)
+		adj[v] = []graph.Vertex{
+			graph.Vertex((v + 1) % n),     // port 0: clockwise
+			graph.Vertex((v + n - 1) % n), // port 1: counter-clockwise
+		}
+	}
+	g, err := graph.FromAdjacency(ids, adj, int64(n))
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name:       "symmetric-ring",
+		G:          g,
+		StartA:     0,
+		StartB:     graph.Vertex(n / 2),
+		LowerBound: int64(n) * int64(n), // no finite bound suffices; any budget holds
+		KT0:        true,
+		Note:       "introduction's footnote: rotationally symmetric ports; identical deterministic agents preserve their distance forever",
+	}, nil
+}
+
+// SymmetricPortAgent returns a deterministic KT0 agent that follows a
+// fixed port sequence cyclically — the canonical "same algorithm" both
+// agents run in the symmetry impossibility. An empty sequence means
+// stay forever.
+type SymmetricPortAgent struct {
+	sequence []int
+	step     int
+}
+
+// NewSymmetricPortAgent builds a fresh agent following seq cyclically.
+func NewSymmetricPortAgent(seq []int) *SymmetricPortAgent {
+	return &SymmetricPortAgent{sequence: append([]int(nil), seq...)}
+}
+
+// NextPort returns the port to use this round, or -1 to stay.
+func (s *SymmetricPortAgent) NextPort(degree int) int {
+	if len(s.sequence) == 0 || degree == 0 {
+		return -1
+	}
+	p := s.sequence[s.step%len(s.sequence)]
+	s.step++
+	if p < 0 || p >= degree {
+		return -1
+	}
+	return p
+}

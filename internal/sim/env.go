@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"fnr/internal/graph"
+)
+
+// Program is an agent algorithm written in direct style against an Env.
+// The runtime runs it on its own goroutine; every Env movement call
+// costs exactly one simulated round and blocks until the runtime
+// advances. Returning from the program halts the agent at its current
+// vertex (equivalent to Halt).
+type Program func(e *Env)
+
+// Env is an agent's handle onto the simulation: its view of the current
+// vertex and the actions it may take. An Env is only valid inside the
+// Program it was passed to and must not be shared across goroutines.
+type Env struct {
+	name    AgentName
+	nPrime  int64
+	kt1     bool
+	boards  bool
+	rng     *rand.Rand
+	viewCh  <-chan view
+	actCh   chan<- action
+	done    <-chan struct{}
+	cur     view
+	haveCur bool
+	staged  bool  // staged whiteboard write
+	stagedV int64 // value of the staged write
+}
+
+// view is the per-round observation handed to an agent.
+type view struct {
+	round      int64
+	hereID     int64
+	degree     int
+	neighborID []int64 // shared buffer, only valid for the round; nil in KT0
+	whiteboard int64
+}
+
+type actionKind uint8
+
+const (
+	actStay actionKind = iota
+	actMove
+	actHalt
+	actPanic
+)
+
+type action struct {
+	kind     actionKind
+	port     int   // actMove
+	wait     int64 // actStay: total rounds to spend staying (≥ 1)
+	write    bool  // commit a whiteboard write at the current vertex
+	writeVal int64
+	err      error // actPanic
+}
+
+// control-flow sentinels for unwinding agent goroutines.
+type ctrlSignal uint8
+
+const (
+	haltSignal ctrlSignal = iota // program called Halt
+	stopSignal                   // runtime shut down under the program
+)
+
+// Name returns which agent this program is running as.
+func (e *Env) Name() AgentName { return e.name }
+
+// NPrime returns the ID-space bound n' known to agents (paper §2.1).
+func (e *Env) NPrime() int64 { return e.nPrime }
+
+// Rand returns the agent's private deterministic random stream.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// HasNeighborIDs reports whether the run grants access to neighborhood
+// IDs (the KT1-style assumption).
+func (e *Env) HasNeighborIDs() bool { return e.kt1 }
+
+// HasWhiteboards reports whether the run provides whiteboards.
+func (e *Env) HasWhiteboards() bool { return e.boards }
+
+// Round returns the current round number.
+func (e *Env) Round() int64 { return e.view().round }
+
+// HereID returns the ID of the agent's current vertex.
+func (e *Env) HereID() int64 { return e.view().hereID }
+
+// Degree returns the degree of the current vertex.
+func (e *Env) Degree() int { return e.view().degree }
+
+// NeighborIDs returns the IDs of the current vertex's neighbors in
+// local port order, or nil in KT0 mode. The slice is shared with the
+// runtime and is valid only until the next movement call; copy it to
+// retain it.
+func (e *Env) NeighborIDs() []int64 { return e.view().neighborID }
+
+// Whiteboard returns the whiteboard content of the current vertex as of
+// the beginning of the round (NoMark if empty or disabled).
+func (e *Env) Whiteboard() int64 { return e.view().whiteboard }
+
+// WriteWhiteboard stages a write of v to the current vertex's
+// whiteboard; it commits together with the agent's next action this
+// round, matching the formal model where the algorithm's output is
+// (state, move, whiteboard content). It returns an error if the run has
+// no whiteboards.
+func (e *Env) WriteWhiteboard(v int64) error {
+	if !e.boards {
+		return fmt.Errorf("sim: agent %s wrote a whiteboard in a whiteboard-free run", e.name)
+	}
+	e.staged = true
+	e.stagedV = v
+	return nil
+}
+
+// Stay spends one round at the current vertex.
+func (e *Env) Stay() { e.StayFor(1) }
+
+// StayFor spends k rounds at the current vertex. k ≤ 0 is a no-op. The
+// runtime fast-forwards overlapping waits, so large k is cheap.
+func (e *Env) StayFor(k int64) {
+	if k <= 0 {
+		return
+	}
+	e.step(action{kind: actStay, wait: k})
+}
+
+// WaitUntilRound stays until the global round counter reaches r (a
+// no-op if r is not in the future). Used for the paper's barrier
+// synchronization in Rendezvous-without-Whiteboards.
+func (e *Env) WaitUntilRound(r int64) {
+	now := e.view().round
+	if r > now {
+		e.StayFor(r - now)
+	}
+}
+
+// MoveToPort crosses the edge behind local port p (one round).
+func (e *Env) MoveToPort(p int) error {
+	if p < 0 || p >= e.view().degree {
+		return fmt.Errorf("sim: agent %s moving through port %d of a degree-%d vertex", e.name, p, e.view().degree)
+	}
+	e.step(action{kind: actMove, port: p})
+	return nil
+}
+
+// MoveToID crosses the edge to the neighbor with the given ID (one
+// round). It requires neighbor-ID access and adjacency; otherwise it
+// returns an error and the agent does not move.
+func (e *Env) MoveToID(id int64) error {
+	if !e.kt1 {
+		return fmt.Errorf("sim: agent %s used MoveToID without neighbor-ID access", e.name)
+	}
+	for p, nid := range e.view().neighborID {
+		if nid == id {
+			e.step(action{kind: actMove, port: p})
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: agent %s at vertex %d has no neighbor with ID %d", e.name, e.view().hereID, id)
+}
+
+// Halt stops the agent at its current vertex permanently. It does not
+// return.
+func (e *Env) Halt() {
+	panic(haltSignal)
+}
+
+// view returns the current round's observation, blocking for the
+// runtime if the previous action consumed it.
+func (e *Env) view() *view {
+	if !e.haveCur {
+		select {
+		case v := <-e.viewCh:
+			e.cur = v
+			e.haveCur = true
+		case <-e.done:
+			panic(stopSignal)
+		}
+	}
+	return &e.cur
+}
+
+// step submits an action (attaching any staged whiteboard write) and
+// marks the current view stale.
+func (e *Env) step(act action) {
+	// Ensure the round's view was produced before acting, so that the
+	// runtime is in its receive state.
+	e.view()
+	if e.staged {
+		act.write = true
+		act.writeVal = e.stagedV
+		e.staged = false
+	}
+	e.haveCur = false
+	select {
+	case e.actCh <- act:
+	case <-e.done:
+		panic(stopSignal)
+	}
+}
+
+// driver is the runtime-side handle of one agent.
+type driver struct {
+	name         AgentName
+	rt           *runtime
+	pos          graph.Vertex
+	moveTo       graph.Vertex
+	waiting      int64
+	halted       bool
+	pendingWrite bool
+	writeVal     int64
+	moves        int64
+	stays        int64
+	prog         Program
+	env          *Env
+	viewCh       chan view
+	actCh        chan action
+	done         chan struct{}
+	exited       chan struct{}
+	nbuf         []int64
+}
+
+func newDriver(rt *runtime, name AgentName, start graph.Vertex, rng *rand.Rand, prog Program) *driver {
+	d := &driver{
+		name:   name,
+		rt:     rt,
+		pos:    start,
+		moveTo: graph.NilVertex,
+		prog:   prog,
+		viewCh: make(chan view),
+		actCh:  make(chan action),
+		done:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	d.env = &Env{
+		name:   name,
+		nPrime: rt.g.NPrime(),
+		kt1:    rt.kt1,
+		boards: rt.whiteboards,
+		rng:    rng,
+		viewCh: d.viewCh,
+		actCh:  d.actCh,
+		done:   d.done,
+	}
+	return d
+}
+
+// start launches the agent goroutine. The program begins executing
+// immediately but blocks on its first observation until step delivers
+// the round-0 view.
+func (d *driver) start() {
+	go func() {
+		defer close(d.exited)
+		defer func() {
+			r := recover()
+			var act action
+			switch r {
+			case nil, haltSignal:
+				act = action{kind: actHalt}
+			case stopSignal:
+				return // runtime is shutting down; exit silently
+			default:
+				act = action{kind: actPanic, err: fmt.Errorf("program panic: %v", r)}
+			}
+			select {
+			case d.actCh <- act:
+			case <-d.done:
+			}
+		}()
+		d.prog(d.env)
+	}()
+}
+
+// step delivers the current view to the agent and collects its action.
+// If the agent already produced an action without consuming a view
+// (e.g. it halted right after its previous move), the stale view is
+// discarded.
+func (d *driver) step() error {
+	v := view{
+		round:      d.rt.round,
+		hereID:     d.rt.g.ID(d.pos),
+		degree:     d.rt.g.Degree(d.pos),
+		whiteboard: NoMark,
+	}
+	if d.rt.whiteboards {
+		v.whiteboard = d.rt.boards[d.pos]
+	}
+	if d.rt.kt1 {
+		d.nbuf = d.rt.g.IDsOfNeighbors(d.pos, d.nbuf[:0])
+		v.neighborID = d.nbuf
+	}
+	var act action
+	select {
+	case d.viewCh <- v:
+		act = <-d.actCh
+	case act = <-d.actCh:
+	}
+	switch act.kind {
+	case actPanic:
+		d.halted = true
+		return act.err
+	case actHalt:
+		d.halted = true
+	case actStay:
+		d.waiting = act.wait - 1
+		d.stays++
+	case actMove:
+		d.moveTo = d.rt.g.Neighbor(d.pos, act.port)
+	}
+	if act.write {
+		d.pendingWrite = true
+		d.writeVal = act.writeVal
+	}
+	return nil
+}
+
+// stop tears the agent goroutine down (idempotent).
+func (d *driver) stop() {
+	select {
+	case <-d.done:
+	default:
+		close(d.done)
+	}
+	<-d.exited
+}

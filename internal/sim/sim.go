@@ -1,0 +1,307 @@
+// Package sim implements the synchronous two-agent mobile-agent
+// execution model of the paper "Fast Neighborhood Rendezvous" (§2.1):
+// discrete rounds; per round each agent either stays at its current
+// vertex or crosses one incident edge; local computation, whiteboard
+// access and neighbor-ID inspection are free within a round; rendezvous
+// completes at round t when both agents occupy the same vertex at the
+// beginning of round t.
+//
+// Agents are written as ordinary Go functions (Program) against an Env
+// handle; the runtime runs each program on its own goroutine and
+// advances both in lockstep. Multi-round waits are fast-forwarded when
+// neither agent needs to act, so wait-heavy algorithms (such as the
+// paper's no-whiteboard algorithm) simulate in time proportional to
+// their activity, not to their round count.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"fnr/internal/graph"
+)
+
+// AgentName identifies one of the two agents. The paper calls them a
+// and b and allows them to run different algorithms (asymmetry).
+type AgentName uint8
+
+// The two agents.
+const (
+	AgentA AgentName = iota
+	AgentB
+)
+
+// String returns "a" or "b".
+func (n AgentName) String() string {
+	if n == AgentA {
+		return "a"
+	}
+	return "b"
+}
+
+// NoMark is the whiteboard content ⊥ (empty).
+const NoMark int64 = math.MinInt64
+
+// Config describes one simulation run.
+type Config struct {
+	// Graph is the static environment. Required.
+	Graph *graph.Graph
+	// StartA and StartB are the agents' initial vertices.
+	StartA, StartB graph.Vertex
+	// NeighborIDs enables the KT1-style accessible port numbering:
+	// agents see the IDs of their current vertex's neighbors. When
+	// false (KT0), ports are bare indices and views carry no IDs.
+	NeighborIDs bool
+	// Whiteboards enables per-vertex whiteboards. When false, writes
+	// are rejected and reads return NoMark — used to certify that the
+	// Theorem 2 algorithm never relies on whiteboards.
+	Whiteboards bool
+	// MaxRounds stops the run if rendezvous has not completed. Zero
+	// selects the generous default 4n²+1000 (beyond any exploration
+	// bound for the instances we run).
+	MaxRounds int64
+	// Seed derives both agents' private random streams.
+	Seed uint64
+	// DisableMeeting turns off rendezvous detection: agents pass
+	// through each other and the run ends only on MaxRounds or both
+	// agents halting. This models the paper's single-agent "illegal
+	// runs" (the X̂(G, a, v, f(n)) executions of §5) and is used by
+	// diagnostic experiments that study one agent in isolation.
+	DisableMeeting bool
+	// MeetingFromRound suppresses rendezvous detection before the
+	// given round. Incidental co-locations while agent a is still
+	// building its dense set end real runs early (and count for the
+	// upper bounds); the mechanism-isolation experiments set this to
+	// the schedule barrier to measure the designed rendezvous phase
+	// alone. Zero means detection is on from the start.
+	MeetingFromRound int64
+	// Observer, if non-nil, is called once per executed round with the
+	// positions at the beginning of the round. Fast-forwarded waiting
+	// rounds are reported in one call with Skipped > 1.
+	Observer func(RoundEvent)
+}
+
+// RoundEvent is a point-in-time observation delivered to Config.Observer.
+type RoundEvent struct {
+	Round   int64
+	PosA    graph.Vertex
+	PosB    graph.Vertex
+	Skipped int64 // number of rounds this event covers (≥ 1)
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Met reports whether the agents occupied the same vertex at the
+	// beginning of some round ≤ MaxRounds.
+	Met bool
+	// MeetRound is the completion round (valid when Met).
+	MeetRound int64
+	// MeetVertex is the rendezvous vertex (valid when Met).
+	MeetVertex graph.Vertex
+	// Rounds is the number of rounds executed (equals MeetRound when
+	// Met, and MaxRounds or the both-halted round otherwise).
+	Rounds int64
+	// Per-agent statistics.
+	A, B AgentStats
+	// Writes counts committed whiteboard writes (both agents).
+	Writes int64
+}
+
+// AgentStats aggregates one agent's activity.
+type AgentStats struct {
+	// Moves is the number of edge traversals.
+	Moves int64
+	// Stays is the number of rounds spent waiting (including
+	// fast-forwarded rounds).
+	Stays int64
+	// Halted reports whether the program returned or called Halt.
+	Halted bool
+}
+
+// DefaultMaxRounds returns the fallback round budget for g: 4n²+1000.
+func DefaultMaxRounds(g *graph.Graph) int64 {
+	n := int64(g.N())
+	return 4*n*n + 1000
+}
+
+// Run executes the two programs on cfg's graph until rendezvous, both
+// agents halting, or the round budget expiring. It returns an error for
+// invalid configurations or if a program panics.
+func Run(cfg Config, progA, progB Program) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("sim: nil graph")
+	}
+	n := graph.Vertex(cfg.Graph.N())
+	if cfg.StartA < 0 || cfg.StartA >= n || cfg.StartB < 0 || cfg.StartB >= n {
+		return nil, fmt.Errorf("sim: start vertices (%d, %d) out of range [0,%d)", cfg.StartA, cfg.StartB, n)
+	}
+	if progA == nil || progB == nil {
+		return nil, errors.New("sim: nil program")
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(cfg.Graph)
+	}
+
+	rt := &runtime{
+		g:           cfg.Graph,
+		kt1:         cfg.NeighborIDs,
+		whiteboards: cfg.Whiteboards,
+		maxRounds:   maxRounds,
+		observer:    cfg.Observer,
+		noMeeting:   cfg.DisableMeeting,
+		meetFrom:    cfg.MeetingFromRound,
+	}
+	if cfg.Whiteboards {
+		rt.boards = make([]int64, cfg.Graph.N())
+		for i := range rt.boards {
+			rt.boards[i] = NoMark
+		}
+	}
+	rt.agents[AgentA] = newDriver(rt, AgentA, cfg.StartA, rand.New(rand.NewPCG(cfg.Seed, 0xA)), progA)
+	rt.agents[AgentB] = newDriver(rt, AgentB, cfg.StartB, rand.New(rand.NewPCG(cfg.Seed, 0xB)), progB)
+	defer rt.shutdown()
+	return rt.run()
+}
+
+// runtime is the per-run lockstep engine.
+type runtime struct {
+	g           *graph.Graph
+	kt1         bool
+	whiteboards bool
+	boards      []int64
+	maxRounds   int64
+	observer    func(RoundEvent)
+	noMeeting   bool
+	meetFrom    int64
+	round       int64
+	writes      int64
+	agents      [2]*driver
+}
+
+func (rt *runtime) run() (*Result, error) {
+	a, b := rt.agents[AgentA], rt.agents[AgentB]
+	a.start()
+	b.start()
+	for {
+		// Rendezvous check at the beginning of the round.
+		if a.pos == b.pos && !rt.noMeeting && rt.round >= rt.meetFrom {
+			res := rt.result()
+			res.Met = true
+			res.MeetRound = rt.round
+			res.MeetVertex = a.pos
+			return res, nil
+		}
+		if rt.round >= rt.maxRounds {
+			return rt.result(), nil
+		}
+		if a.halted && b.halted {
+			return rt.result(), nil
+		}
+		// Fast-forward: if every live agent is mid-wait, skip ahead.
+		if skip := rt.skippable(); skip > 1 {
+			capped := min(skip, rt.maxRounds-rt.round)
+			if rt.round < rt.meetFrom {
+				// Do not skip past the detection barrier: the meeting
+				// check must run exactly at meetFrom.
+				capped = min(capped, rt.meetFrom-rt.round)
+			}
+			for _, d := range rt.agents {
+				if !d.halted {
+					d.waiting -= capped
+					d.stays += capped
+				}
+			}
+			rt.observe(capped)
+			rt.round += capped
+			continue
+		}
+		// Collect one action from each live agent.
+		for _, d := range rt.agents {
+			if d.halted {
+				continue
+			}
+			if d.waiting > 0 {
+				d.waiting--
+				d.stays++
+				continue
+			}
+			if err := d.step(); err != nil {
+				return nil, fmt.Errorf("sim: agent %s: %w", d.name, err)
+			}
+		}
+		// Commit writes (agents occupy distinct vertices here), then
+		// moves.
+		for _, d := range rt.agents {
+			if d.pendingWrite {
+				d.pendingWrite = false
+				if rt.whiteboards {
+					rt.boards[d.pos] = d.writeVal
+					rt.writes++
+				}
+			}
+		}
+		rt.observe(1)
+		for _, d := range rt.agents {
+			if d.moveTo != graph.NilVertex {
+				d.pos = d.moveTo
+				d.moveTo = graph.NilVertex
+				d.moves++
+			}
+		}
+		rt.round++
+	}
+}
+
+// skippable returns the largest number of rounds that can elapse with no
+// agent needing to act (minimum of live agents' remaining waits; halted
+// agents never act). Returns 0 if some live agent must act now.
+func (rt *runtime) skippable() int64 {
+	skip := int64(math.MaxInt64)
+	live := false
+	for _, d := range rt.agents {
+		if d.halted {
+			continue
+		}
+		live = true
+		if d.waiting < skip {
+			skip = d.waiting
+		}
+	}
+	if !live {
+		return 0
+	}
+	return skip
+}
+
+func (rt *runtime) observe(skipped int64) {
+	if rt.observer == nil {
+		return
+	}
+	rt.observer(RoundEvent{
+		Round:   rt.round,
+		PosA:    rt.agents[AgentA].pos,
+		PosB:    rt.agents[AgentB].pos,
+		Skipped: skipped,
+	})
+}
+
+func (rt *runtime) result() *Result {
+	a, b := rt.agents[AgentA], rt.agents[AgentB]
+	return &Result{
+		Rounds: rt.round,
+		A:      AgentStats{Moves: a.moves, Stays: a.stays, Halted: a.halted},
+		B:      AgentStats{Moves: b.moves, Stays: b.stays, Halted: b.halted},
+		Writes: rt.writes,
+	}
+}
+
+func (rt *runtime) shutdown() {
+	for _, d := range rt.agents {
+		if d != nil {
+			d.stop()
+		}
+	}
+}
