@@ -1,0 +1,128 @@
+// Command benchengine emits BENCH_engine.json: the fixed reference
+// batch (whiteboard vs sweep, 200 trials each on PlantedMinDegree
+// (1024, 181), batch seed 7) that gives later changes a perf
+// trajectory to compare against. The aggregates are deterministic —
+// only the elapsed_ms fields vary between machines and runs.
+//
+// Usage:
+//
+//	benchengine              # writes BENCH_engine.json in the cwd
+//	benchengine -o out.json
+//	benchengine -trials 500 -parallel 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"time"
+
+	"fnr"
+)
+
+type batchReport struct {
+	Aggregate *fnr.Aggregate `json:"aggregate"`
+	// ElapsedMS is wall-clock for the batch at the configured worker
+	// count (machine-dependent; excluded from determinism claims).
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// SerialElapsedMS is wall-clock for the same batch at one worker.
+	SerialElapsedMS int64 `json:"serial_elapsed_ms"`
+}
+
+type report struct {
+	N          int                    `json:"n"`
+	D          int                    `json:"d"`
+	Trials     int                    `json:"trials"`
+	Seed       uint64                 `json:"seed"`
+	Workers    int                    `json:"workers"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Batches    map[string]batchReport `json:"batches"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchengine: ")
+	var (
+		out      = flag.String("o", "BENCH_engine.json", "output path")
+		n        = flag.Int("n", 1024, "graph size")
+		d        = flag.Int("d", 181, "planted minimum degree")
+		trials   = flag.Int("trials", 200, "trials per batch")
+		seed     = flag.Uint64("seed", 7, "batch seed (also the graph seed)")
+		parallel = flag.Int("parallel", 0, "worker count for the timed run (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewPCG(*seed, 0xbe7c4))
+	g, err := fnr.PlantedMinDegree(*n, *d, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sa := fnr.Vertex(rng.IntN(g.N()))
+	for g.Degree(sa) == 0 {
+		sa = fnr.Vertex(rng.IntN(g.N()))
+	}
+	sb := g.Adj(sa)[rng.IntN(g.Degree(sa))]
+
+	rep := report{
+		N: *n, D: *d, Trials: *trials, Seed: *seed,
+		Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Batches: map[string]batchReport{},
+	}
+	for _, name := range []string{"whiteboard", "sweep"} {
+		batch := fnr.Batch{
+			Graph:     g,
+			StartA:    sa,
+			StartB:    sb,
+			Algorithm: name,
+			Delta:     g.MinDegree(),
+			Trials:    *trials,
+			Seed:      *seed,
+			Workers:   workers,
+		}
+		start := time.Now()
+		agg, err := fnr.RunBatch(batch)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		elapsed := time.Since(start)
+
+		batch.Workers = 1
+		start = time.Now()
+		serialAgg, err := fnr.RunBatch(batch)
+		if err != nil {
+			log.Fatalf("%s (serial): %v", name, err)
+		}
+		serialElapsed := time.Since(start)
+		if *serialAgg != *agg {
+			log.Fatalf("%s: serial and parallel aggregates differ — engine determinism broken", name)
+		}
+		rep.Batches[name] = batchReport{
+			Aggregate:       agg,
+			ElapsedMS:       elapsed.Milliseconds(),
+			SerialElapsedMS: serialElapsed.Milliseconds(),
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (whiteboard %dms, sweep %dms at %d workers)",
+		*out, rep.Batches["whiteboard"].ElapsedMS, rep.Batches["sweep"].ElapsedMS, workers)
+}

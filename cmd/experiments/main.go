@@ -1,15 +1,19 @@
 // Command experiments regenerates the paper-reproduction tables
-// (DESIGN.md §4, results recorded in EXPERIMENTS.md).
+// (DESIGN.md §4, results recorded in EXPERIMENTS.md). Trials inside
+// every experiment run on the batch engine's worker pool.
 //
 // Usage:
 //
-//	experiments                 # full suite, markdown to stdout
-//	experiments -run E1,E5      # selected experiments
-//	experiments -quick -seeds 4 # smaller sweeps
-//	experiments -csv out/       # also write one CSV per experiment
+//	experiments                  # full suite, markdown to stdout
+//	experiments -run E1,E5       # selected experiments
+//	experiments -quick -trials 4 # smaller sweeps
+//	experiments -csv out/        # also write one CSV per experiment
+//	experiments -json            # machine-readable tables on stdout
+//	experiments -parallel 8      # bound trial parallelism
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,16 +29,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		runList = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		quick   = flag.Bool("quick", false, "small sweeps (smoke mode)")
-		seeds   = flag.Int("seeds", 0, "trials per configuration (0 = default)")
-		workers = flag.Int("workers", 0, "parallel trials (0 = GOMAXPROCS)")
-		preset  = flag.String("params", "practical", "constant preset: practical|paper")
-		csvDir  = flag.String("csv", "", "directory to write per-experiment CSVs")
+		runList  = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		quick    = flag.Bool("quick", false, "small sweeps (smoke mode)")
+		trials   = flag.Int("trials", 0, "trials per configuration (0 = default)")
+		seeds    = flag.Int("seeds", 0, "alias of -trials (kept for compatibility)")
+		parallel = flag.Int("parallel", 0, "parallel trials (0 = GOMAXPROCS; never affects results)")
+		workers  = flag.Int("workers", 0, "alias of -parallel (kept for compatibility)")
+		preset   = flag.String("params", "practical", "constant preset: practical|paper")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSVs")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document with every table instead of markdown")
 	)
 	flag.Parse()
 
-	cfg := fnr.ExperimentConfig{Quick: *quick, Seeds: *seeds, Workers: *workers}
+	if *trials == 0 {
+		*trials = *seeds
+	}
+	if *parallel == 0 {
+		*parallel = *workers
+	}
+	cfg := fnr.ExperimentConfig{Quick: *quick, Seeds: *trials, Workers: *parallel}
 	switch *preset {
 	case "practical":
 		cfg.Params = fnr.PracticalParams()
@@ -63,14 +76,33 @@ func main() {
 		}
 	}
 
+	type jsonTable struct {
+		ID        string     `json:"id"`
+		Title     string     `json:"title"`
+		Claim     string     `json:"claim"`
+		Columns   []string   `json:"columns"`
+		Rows      [][]string `json:"rows"`
+		Notes     []string   `json:"notes"`
+		ElapsedMS int64      `json:"elapsed_ms"`
+	}
+	var jsonTables []jsonTable
 	for _, e := range selected {
 		start := time.Now()
 		tb, err := e.Run(cfg)
 		if err != nil {
 			log.Fatalf("%s: %v", e.ID, err)
 		}
-		fmt.Println(tb.Render())
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *jsonOut {
+			jsonTables = append(jsonTables, jsonTable{
+				ID: tb.ID, Title: tb.Title, Claim: tb.Claim,
+				Columns: tb.Columns, Rows: tb.Rows, Notes: tb.Notes,
+				ElapsedMS: elapsed.Milliseconds(),
+			})
+		} else {
+			fmt.Println(tb.Render())
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		}
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
 			f, err := os.Create(path)
@@ -84,6 +116,13 @@ func main() {
 			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonTables); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

@@ -36,12 +36,20 @@ import (
 	"errors"
 	"fmt"
 
-	"fnr/internal/baseline"
+	"fnr/internal/algo"
 	"fnr/internal/core"
+	"fnr/internal/engine"
 	"fnr/internal/graph"
 	"fnr/internal/harness"
 	"fnr/internal/lower"
 	"fnr/internal/sim"
+
+	// Strategy registrations: each package's init adds its specs to
+	// the algo registry (the blank-import idiom). Everything below —
+	// Algorithm, ParseAlgorithm, Rendezvous, RunBatch — is served
+	// from that registry.
+	_ "fnr/internal/algo/paper"
+	_ "fnr/internal/baseline"
 )
 
 // Core re-exported types. Aliases keep the internal packages private
@@ -124,10 +132,13 @@ func Experiments() []Experiment { return harness.All() }
 // ExperimentByID looks up one suite entry.
 func ExperimentByID(id string) (Experiment, bool) { return harness.ByID(id) }
 
-// Algorithm selects a rendezvous strategy for Rendezvous.
+// Algorithm selects a rendezvous strategy for Rendezvous. Its value
+// is an index into the registry listing (see Algorithms); the named
+// constants below are stable because the built-in strategies register
+// with matching algo.Spec.Order ranks.
 type Algorithm int
 
-// Available strategies.
+// The built-in strategies.
 const (
 	// AlgWhiteboard is the paper's Theorem-1 algorithm (Construct +
 	// Main-Rendezvous). Needs whiteboards and neighbor IDs.
@@ -150,36 +161,90 @@ const (
 	AlgBirthday
 )
 
-// String returns the CLI-friendly name.
+// specOf resolves an Algorithm value against the registry.
+func specOf(a Algorithm) (algo.Spec, error) {
+	specs := algo.Specs()
+	if int(a) < 0 || int(a) >= len(specs) {
+		// Format the raw value: rendering `a` itself would re-enter
+		// String → specOf.
+		return algo.Spec{}, fmt.Errorf("fnr: unknown algorithm Algorithm(%d)", int(a))
+	}
+	return specs[int(a)], nil
+}
+
+// String returns the CLI-friendly registered name.
 func (a Algorithm) String() string {
-	switch a {
-	case AlgWhiteboard:
-		return "whiteboard"
-	case AlgNoWhiteboard:
-		return "noboard"
-	case AlgSweep:
-		return "sweep"
-	case AlgDFS:
-		return "dfs"
-	case AlgStayWalk:
-		return "staywalk"
-	case AlgWalkPair:
-		return "walkpair"
-	case AlgBirthday:
-		return "birthday"
+	if spec, err := specOf(a); err == nil {
+		return spec.Name
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// ParseAlgorithm maps a CLI name to an Algorithm.
+// ParseAlgorithm maps a registered name to an Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	for _, a := range []Algorithm{AlgWhiteboard, AlgNoWhiteboard, AlgSweep, AlgDFS, AlgStayWalk, AlgWalkPair, AlgBirthday} {
-		if a.String() == s {
-			return a, nil
+	for i, spec := range algo.Specs() {
+		if spec.Name == s {
+			return Algorithm(i), nil
 		}
 	}
-	return 0, fmt.Errorf("fnr: unknown algorithm %q", s)
+	return 0, fmt.Errorf("fnr: unknown algorithm %q (registered: %v)", s, algo.Names())
 }
+
+// AlgorithmInfo describes one registered strategy for discovery (CLI
+// -algo listings, documentation).
+type AlgorithmInfo struct {
+	// Algorithm is the value to pass to Rendezvous.
+	Algorithm Algorithm
+	// Name is the registered CLI name.
+	Name string
+	// Summary is a one-line description.
+	Summary string
+	// NeedsNeighborIDs marks KT1-only strategies.
+	NeedsNeighborIDs bool
+	// NeedsWhiteboards marks strategies that write vertex whiteboards.
+	NeedsWhiteboards bool
+	// NeedsDelta marks strategies that require Options.Delta.
+	NeedsDelta bool
+}
+
+// Algorithms enumerates every registered strategy in Algorithm order.
+// The list is dynamic: strategies registered through
+// RegisterAlgorithm appear alongside the built-ins.
+func Algorithms() []AlgorithmInfo {
+	specs := algo.Specs()
+	out := make([]AlgorithmInfo, len(specs))
+	for i, s := range specs {
+		out[i] = AlgorithmInfo{
+			Algorithm:        Algorithm(i),
+			Name:             s.Name,
+			Summary:          s.Summary,
+			NeedsNeighborIDs: s.Caps.NeighborIDs,
+			NeedsWhiteboards: s.Caps.Whiteboards,
+			NeedsDelta:       s.Caps.NeedsDelta,
+		}
+	}
+	return out
+}
+
+// Registry extension surface, re-exported so user packages can plug
+// in strategies without reaching into internal paths.
+type (
+	// AlgorithmSpec is a registrable strategy description.
+	AlgorithmSpec = algo.Spec
+	// AlgorithmCaps declares a strategy's simulation capabilities.
+	AlgorithmCaps = algo.Caps
+	// AlgorithmBuildOpts carries per-run inputs to a Build function.
+	AlgorithmBuildOpts = algo.BuildOpts
+)
+
+// RegisterAlgorithm adds a strategy to the registry (typically from
+// an init function). Registered strategies are resolvable by
+// ParseAlgorithm, runnable by Rendezvous and RunBatch, and listed by
+// Algorithms. Pick a unique Order ≥ 100: orders rank the listing
+// (and thus Algorithm values), and a duplicate — including the zero
+// value, which collides with AlgWhiteboard's rank — panics at
+// registration.
+var RegisterAlgorithm = algo.Register
 
 // Options tunes a Rendezvous run. The zero value is usable for every
 // algorithm except AlgNoWhiteboard (which needs Delta).
@@ -207,10 +272,17 @@ type Options struct {
 
 // Rendezvous runs the selected strategy for two agents starting on
 // startA and startB (which the paper's algorithms require to be
-// adjacent) and reports the outcome.
-func Rendezvous(g *Graph, startA, startB Vertex, algo Algorithm, opt Options) (*Result, error) {
+// adjacent) and reports the outcome. The strategy is resolved through
+// the registry: its declared capabilities configure the simulation
+// (neighbor-ID visibility, whiteboards) and its Build constructs the
+// program pair.
+func Rendezvous(g *Graph, startA, startB Vertex, a Algorithm, opt Options) (*Result, error) {
 	if g == nil {
 		return nil, errors.New("fnr: nil graph")
+	}
+	spec, err := specOf(a)
+	if err != nil {
+		return nil, err
 	}
 	params := opt.Params
 	if params == (Params{}) {
@@ -220,46 +292,48 @@ func Rendezvous(g *Graph, startA, startB Vertex, algo Algorithm, opt Options) (*
 	if seed == 0 {
 		seed = 1
 	}
-	cfg := sim.Config{
-		Graph:     g,
-		StartA:    startA,
-		StartB:    startB,
-		MaxRounds: opt.MaxRounds,
-		Seed:      seed,
-		Observer:  opt.Observer,
+	progA, progB, err := spec.Programs(algo.BuildOpts{
+		Params:          params,
+		Delta:           opt.Delta,
+		WhiteboardStats: opt.WhiteboardStats,
+		NoboardStats:    opt.NoboardStats,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fnr: %w", err)
 	}
-	var progA, progB Program
-	switch algo {
-	case AlgWhiteboard:
-		cfg.NeighborIDs = true
-		cfg.Whiteboards = true
-		know := core.Knowledge{Delta: opt.Delta, Doubling: opt.Delta <= 0}
-		progA, progB = core.WhiteboardAgents(params, know, opt.WhiteboardStats)
-	case AlgNoWhiteboard:
-		if opt.Delta <= 0 {
-			return nil, errors.New("fnr: AlgNoWhiteboard requires Options.Delta (Theorem 2 assumes known δ)")
-		}
-		cfg.NeighborIDs = true
-		progA, progB = core.NoboardAgents(params, opt.Delta, opt.NoboardStats)
-	case AlgSweep:
-		cfg.NeighborIDs = true
-		progA, progB = baseline.StayAndSweep()
-	case AlgDFS:
-		cfg.NeighborIDs = true
-		progA, progB = baseline.StayAndDFS()
-	case AlgStayWalk:
-		progA, progB = baseline.StayAndWalk()
-	case AlgWalkPair:
-		progA, progB = baseline.RandomWalkPair()
-	case AlgBirthday:
-		cfg.NeighborIDs = true
-		cfg.Whiteboards = true
-		progA, progB = baseline.BirthdayAgents()
-	default:
-		return nil, fmt.Errorf("fnr: unknown algorithm %v", algo)
-	}
-	return sim.Run(cfg, progA, progB)
+	return sim.Run(sim.Config{
+		Graph:       g,
+		StartA:      startA,
+		StartB:      startB,
+		NeighborIDs: spec.Caps.NeighborIDs,
+		Whiteboards: spec.Caps.Whiteboards,
+		MaxRounds:   opt.MaxRounds,
+		Seed:        seed,
+		Observer:    opt.Observer,
+	}, progA, progB)
 }
+
+// Batch-execution surface, re-exported from the engine.
+type (
+	// Batch describes N independent trials of one registered strategy
+	// on one instance; see RunBatch.
+	Batch = engine.Batch
+	// BatchOutcome is one trial of a batch, reduced for aggregation.
+	BatchOutcome = engine.Outcome
+	// Aggregate is a batch's deterministic summary (success rate,
+	// round and move distributions).
+	Aggregate = engine.Aggregate
+)
+
+// RunBatch fans the batch's trials across a worker pool and returns
+// the streamed aggregate. Each trial's seed derives from
+// (Batch.Seed, trial index), so the result is bit-identical for any
+// Workers setting.
+func RunBatch(b Batch) (*Aggregate, error) { return engine.Run(b) }
+
+// RunBatchOutcomes is RunBatch returning the per-trial outcomes in
+// trial order instead of the aggregate.
+func RunBatchOutcomes(b Batch) ([]BatchOutcome, error) { return engine.RunOutcomes(b) }
 
 // RunPrograms executes two custom agent programs under an explicit
 // simulation configuration — the low-level entry point for user-written

@@ -71,14 +71,100 @@ func TestRendezvousValidation(t *testing.T) {
 }
 
 func TestParseAlgorithm(t *testing.T) {
-	for _, a := range []Algorithm{AlgWhiteboard, AlgNoWhiteboard, AlgSweep, AlgDFS, AlgStayWalk, AlgWalkPair, AlgBirthday} {
-		got, err := ParseAlgorithm(a.String())
-		if err != nil || got != a {
-			t.Errorf("round trip %v failed: %v, %v", a, got, err)
+	// Round-trip over the dynamic registry listing: every registered
+	// spec must parse back to its own Algorithm value.
+	infos := Algorithms()
+	if len(infos) < 7 {
+		t.Fatalf("registry lists %d algorithms, want ≥ 7", len(infos))
+	}
+	for _, info := range infos {
+		got, err := ParseAlgorithm(info.Algorithm.String())
+		if err != nil || got != info.Algorithm {
+			t.Errorf("round trip %v failed: %v, %v", info.Algorithm, got, err)
+		}
+		if info.Name != info.Algorithm.String() {
+			t.Errorf("info name %q != String() %q", info.Name, info.Algorithm.String())
 		}
 	}
 	if _, err := ParseAlgorithm("nope"); err == nil {
 		t.Error("ParseAlgorithm accepted garbage")
+	}
+}
+
+// The historical constants must stay aligned with the registry order
+// the built-in specs declare.
+func TestAlgorithmConstantsMatchRegistry(t *testing.T) {
+	want := map[Algorithm]string{
+		AlgWhiteboard:   "whiteboard",
+		AlgNoWhiteboard: "noboard",
+		AlgSweep:        "sweep",
+		AlgDFS:          "dfs",
+		AlgStayWalk:     "staywalk",
+		AlgWalkPair:     "walkpair",
+		AlgBirthday:     "birthday",
+	}
+	for a, name := range want {
+		if a.String() != name {
+			t.Errorf("constant %d maps to %q, want %q", int(a), a.String(), name)
+		}
+	}
+	if Algorithm(-1).String() != "Algorithm(-1)" {
+		t.Errorf("out-of-range String() = %q", Algorithm(-1).String())
+	}
+}
+
+// The registry's declared capabilities must configure the simulation:
+// strategies without the whiteboard capability physically cannot
+// write, and KT0-capable strategies run without neighbor IDs.
+func TestAlgorithmCapabilities(t *testing.T) {
+	byName := map[string]AlgorithmInfo{}
+	for _, info := range Algorithms() {
+		byName[info.Name] = info
+	}
+	if !byName["whiteboard"].NeedsWhiteboards || !byName["whiteboard"].NeedsNeighborIDs {
+		t.Error("whiteboard capabilities wrong")
+	}
+	if byName["noboard"].NeedsWhiteboards || !byName["noboard"].NeedsDelta {
+		t.Error("noboard capabilities wrong")
+	}
+	if byName["staywalk"].NeedsNeighborIDs || byName["walkpair"].NeedsNeighborIDs {
+		t.Error("walk strategies must be KT0-capable")
+	}
+}
+
+func TestRunBatchFacade(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	g, err := PlantedMinDegree(128, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := Vertex(0)
+	sb := g.Adj(sa)[0]
+	batch := Batch{
+		Graph: g, StartA: sa, StartB: sb,
+		Algorithm: "whiteboard", Delta: g.MinDegree(),
+		Trials: 12, Seed: 4, Workers: 4,
+	}
+	agg, err := RunBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Trials != 12 || agg.Met == 0 {
+		t.Fatalf("aggregate %+v", agg)
+	}
+	outcomes, err := RunBatchOutcomes(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 12 {
+		t.Fatalf("got %d outcomes", len(outcomes))
+	}
+	// The batch surface must reject capability mismatches.
+	bad := batch
+	bad.Algorithm = "noboard"
+	bad.Delta = 0
+	if _, err := RunBatch(bad); err == nil {
+		t.Error("noboard batch without Delta accepted")
 	}
 }
 

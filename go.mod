@@ -1,0 +1,3 @@
+module fnr
+
+go 1.22

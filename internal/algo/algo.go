@@ -1,0 +1,195 @@
+// Package algo is the pluggable rendezvous-strategy registry. Every
+// strategy — the paper's two algorithms, the baselines, and any
+// future addition — self-describes as a Spec and registers itself at
+// init time; the fnr facade, the batch engine and the CLIs all derive
+// their algorithm lists from this one table instead of hard-coded
+// switches.
+//
+// A strategy package registers itself from an init function:
+//
+//	func init() {
+//		algo.Register(algo.Spec{
+//			Name: "sweep",
+//			Caps: algo.Caps{NeighborIDs: true},
+//			Build: func(o algo.BuildOpts) (a, b sim.Program, err error) {
+//				a, b = StayAndSweep()
+//				return a, b, nil
+//			},
+//		})
+//	}
+//
+// and consumers pull it in with a blank import (the registration
+// idiom), e.g. `import _ "fnr/internal/algo/paper"`.
+package algo
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+
+	"fnr/internal/core"
+	"fnr/internal/sim"
+)
+
+// ErrDeltaRequired is returned (wrapped) by Build when a strategy
+// whose Caps.NeedsDelta is set is built without a positive Delta.
+var ErrDeltaRequired = errors.New("algorithm requires a known minimum degree δ (Delta)")
+
+// ErrUnknown is returned (wrapped) when a name resolves to no
+// registered spec.
+var ErrUnknown = errors.New("unknown algorithm")
+
+// Caps describes the simulation capabilities a strategy needs. The
+// engine and the fnr facade translate them directly into sim.Config
+// switches, so a strategy physically cannot use a capability it does
+// not declare.
+type Caps struct {
+	// NeighborIDs requires the KT1 model: agents see the IDs of their
+	// current vertex's neighbors.
+	NeighborIDs bool
+	// Whiteboards requires per-vertex whiteboards.
+	Whiteboards bool
+	// NeedsDelta requires BuildOpts.Delta > 0 (a known minimum
+	// degree); building without it fails with ErrDeltaRequired.
+	NeedsDelta bool
+}
+
+// BuildOpts carries the per-run inputs a strategy may consume.
+type BuildOpts struct {
+	// Params holds the algorithm constants (never zero — callers
+	// default it to core.PracticalParams()).
+	Params core.Params
+	// Delta is the minimum degree known to the agents; 0 means
+	// unknown (strategies that can estimate it do so, strategies with
+	// Caps.NeedsDelta fail).
+	Delta int
+	// WhiteboardStats, if non-nil, collects the Theorem-1 algorithm's
+	// diagnostics. Other strategies ignore it.
+	WhiteboardStats *core.WhiteboardStats
+	// NoboardStats, if non-nil, collects the Theorem-2 algorithm's
+	// diagnostics. Other strategies ignore it.
+	NoboardStats *core.NoboardStats
+}
+
+// Spec is one registered strategy.
+type Spec struct {
+	// Name is the unique CLI-facing identifier ("whiteboard",
+	// "sweep", …).
+	Name string
+	// Order ranks specs in listings and must be unique: the listing
+	// index is the public fnr.Algorithm value, so a collision would
+	// silently renumber existing strategies. The seven built-ins use
+	// 0–6; third-party specs must pick a distinct Order ≥ 100
+	// (Register panics on a duplicate, including the zero value
+	// colliding with the built-in 0).
+	Order int
+	// Summary is a one-line description for -algo discovery output.
+	Summary string
+	// Caps declares the simulation capabilities the strategy needs.
+	Caps Caps
+	// Build constructs a fresh program pair for one run. Programs are
+	// stateful closures: call Build once per trial.
+	Build func(o BuildOpts) (a, b sim.Program, err error)
+}
+
+// check validates the NeedsDelta capability; Build implementations
+// call it (via Spec.Programs) so the error is uniform.
+func (s Spec) check(o BuildOpts) error {
+	if s.Caps.NeedsDelta && o.Delta <= 0 {
+		return fmt.Errorf("algo %q: %w", s.Name, ErrDeltaRequired)
+	}
+	return nil
+}
+
+// Programs builds a fresh program pair after validating o against the
+// spec's capabilities. Prefer this over calling Build directly.
+func (s Spec) Programs(o BuildOpts) (a, b sim.Program, err error) {
+	if err := s.check(o); err != nil {
+		return nil, nil, err
+	}
+	if o.Params == (core.Params{}) {
+		o.Params = core.PracticalParams()
+	}
+	return s.Build(o)
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Spec{}
+)
+
+// Register adds a spec to the registry. It panics on an empty name, a
+// nil Build, a duplicate name, or a duplicate Order — all programmer
+// errors at init time. The Order check is what keeps fnr.Algorithm
+// values stable: an unset (zero) Order on a third-party spec would
+// otherwise sort among the built-ins and renumber them.
+func Register(s Spec) {
+	if s.Name == "" {
+		panic("algo: Register with empty name")
+	}
+	if s.Build == nil {
+		panic(fmt.Sprintf("algo: Register(%q) with nil Build", s.Name))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("algo: duplicate registration of %q", s.Name))
+	}
+	for _, prev := range registry {
+		if prev.Order == s.Order {
+			panic(fmt.Sprintf("algo: Register(%q) reuses Order %d of %q; orders must be unique (use ≥ 100 for non-built-ins)",
+				s.Name, s.Order, prev.Name))
+		}
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (Spec, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("%w %q (registered: %v)", ErrUnknown, name, names())
+	}
+	return s, nil
+}
+
+// Specs returns every registered spec, sorted by (Order, Name).
+func Specs() []Spec {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	slices.SortFunc(out, func(a, b Spec) int {
+		if a.Order != b.Order {
+			return cmp.Compare(a.Order, b.Order)
+		}
+		return cmp.Compare(a.Name, b.Name)
+	})
+	return out
+}
+
+// Names returns the registered names in Specs order.
+func Names() []string {
+	specs := Specs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// names is the lock-held helper behind error messages.
+func names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	slices.Sort(out)
+	return out
+}

@@ -1,0 +1,52 @@
+package baseline
+
+import (
+	"fnr/internal/algo"
+	"fnr/internal/sim"
+)
+
+// The baselines self-register with the strategy registry; importing
+// this package (blank imports included) is enough to make them
+// resolvable by name. Orders 2–6 preserve the historical
+// fnr.Algorithm constant values.
+func init() {
+	pair := func(f func() (sim.Program, sim.Program)) func(algo.BuildOpts) (sim.Program, sim.Program, error) {
+		return func(algo.BuildOpts) (sim.Program, sim.Program, error) {
+			a, b := f()
+			return a, b, nil
+		}
+	}
+	algo.Register(algo.Spec{
+		Name:    "sweep",
+		Order:   2,
+		Summary: "trivial O(∆) baseline: a waits, b sweeps its neighborhood in port order",
+		Caps:    algo.Caps{NeighborIDs: true},
+		Build:   pair(StayAndSweep),
+	})
+	algo.Register(algo.Spec{
+		Name:    "dfs",
+		Order:   3,
+		Summary: "full-exploration baseline: a waits, b walks a DFS traversal of the graph",
+		Caps:    algo.Caps{NeighborIDs: true},
+		Build:   pair(StayAndDFS),
+	})
+	algo.Register(algo.Spec{
+		Name:    "staywalk",
+		Order:   4,
+		Summary: "a waits, b random-walks by ports (KT0-capable)",
+		Build:   pair(StayAndWalk),
+	})
+	algo.Register(algo.Spec{
+		Name:    "walkpair",
+		Order:   5,
+		Summary: "two independent random walkers (KT0-capable)",
+		Build:   pair(RandomWalkPair),
+	})
+	algo.Register(algo.Spec{
+		Name:    "birthday",
+		Order:   6,
+		Summary: "complete-graph whiteboard birthday strategy (Anderson–Weber stand-in)",
+		Caps:    algo.Caps{NeighborIDs: true, Whiteboards: true},
+		Build:   pair(BirthdayAgents),
+	})
+}

@@ -1,0 +1,289 @@
+// Package engine is the deterministic batch-trial runner: it fans N
+// independent rendezvous trials across a worker pool and streams the
+// per-trial results into compact aggregates (success rate, round and
+// move distributions). Each trial's PCG seed is derived from the
+// batch seed and the trial index alone, and aggregation runs over the
+// trial-indexed outcome slice in index order, so a batch's Aggregate
+// is bit-identical whether it ran on 1 worker or on GOMAXPROCS — the
+// worker count changes wall-clock time only.
+//
+// The engine resolves strategies by name through the algo registry;
+// anything registered there (the paper's algorithms, the baselines,
+// or a third-party Spec) can be batched without the engine knowing
+// its construction.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fnr/internal/algo"
+	"fnr/internal/core"
+	"fnr/internal/graph"
+	"fnr/internal/sim"
+	"fnr/internal/stats"
+)
+
+// Batch describes one batch of independent trials: the same instance
+// and strategy, Trials different derived seeds.
+type Batch struct {
+	// Graph is the shared instance (immutable, so safe to share
+	// across workers). Required.
+	Graph *graph.Graph
+	// StartA and StartB are the agents' start vertices.
+	StartA, StartB graph.Vertex
+	// Algorithm names a registered strategy (see algo.Names).
+	Algorithm string
+	// Params overrides the algorithm constants (zero value selects
+	// core.PracticalParams).
+	Params core.Params
+	// Delta is the minimum degree known to the agents (0 = unknown).
+	Delta int
+	// Trials is the number of independent runs. Required (> 0).
+	Trials int
+	// Seed is the batch seed; trial i runs with TrialSeed(Seed, i).
+	Seed uint64
+	// MaxRounds bounds each run (0 = the simulator default 4n²+1000).
+	MaxRounds int64
+	// Workers bounds trial parallelism (≤ 0 = GOMAXPROCS). It never
+	// affects results, only wall-clock time.
+	Workers int
+}
+
+// Outcome is one trial reduced to what aggregation needs.
+type Outcome struct {
+	// Met reports whether the agents rendezvoused within the budget.
+	Met bool
+	// Rounds is the meeting round when Met, and the executed round
+	// count otherwise.
+	Rounds int64
+	// Moves is the total number of edge traversals by both agents.
+	Moves int64
+	// Err reports a per-trial simulation failure (program panic);
+	// such trials count as failures, not meetings.
+	Err bool
+}
+
+// Dist summarizes a sample: mean, median, p95 and range. The zero
+// value stands for an empty sample.
+type Dist struct {
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// DistOf summarizes xs (in the given order — callers pass trial-index
+// order so the floating-point accumulation is reproducible).
+func DistOf(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	var s stats.Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return Dist{
+		Mean:   s.Mean(),
+		Median: stats.Median(xs),
+		P95:    stats.Quantile(xs, 0.95),
+		Min:    s.Min(),
+		Max:    s.Max(),
+	}
+}
+
+// Aggregate is a batch's streamed summary. It deliberately excludes
+// the worker count and any timing: two runs of the same Batch must
+// marshal to identical JSON regardless of parallelism.
+type Aggregate struct {
+	// Algorithm echoes the batch's strategy name.
+	Algorithm string `json:"algorithm"`
+	// Trials is the number of runs executed.
+	Trials int `json:"trials"`
+	// Seed echoes the batch seed.
+	Seed uint64 `json:"seed"`
+	// Met counts trials that rendezvoused; Failures = Trials - Met
+	// (budget exhaustions and erroring trials alike).
+	Met      int `json:"met"`
+	Failures int `json:"failures"`
+	// Errors counts trials that faulted (program panic) rather than
+	// merely exhausting their budget; always ≤ Failures.
+	Errors int `json:"errors"`
+	// SuccessRate is Met / Trials.
+	SuccessRate float64 `json:"success_rate"`
+	// Rounds summarizes the meeting round over met trials only.
+	Rounds Dist `json:"rounds"`
+	// Moves summarizes total edge traversals over non-erroring
+	// trials (an erroring trial has no meaningful move count).
+	Moves Dist `json:"moves"`
+}
+
+// TrialSeed derives trial i's simulation seed from the batch seed.
+// The mix is SplitMix64 over an odd-multiple offset, so neighboring
+// trial indices and neighboring batch seeds both produce
+// well-separated streams.
+func TrialSeed(batchSeed uint64, trial int) uint64 {
+	x := batchSeed + (uint64(trial)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Trials fans f(0..n-1) across a pool of `workers` goroutines
+// (≤ 0 = GOMAXPROCS) and returns the results indexed by trial. f must
+// be safe for concurrent calls with distinct indices.
+func Trials[T any](workers, n int, f func(trial int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = f(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunOutcomes executes the batch and returns the per-trial outcomes
+// in trial order — the lower-level entry point for callers (the
+// experiment harness) that need more than the standard aggregate.
+func RunOutcomes(b Batch) ([]Outcome, error) {
+	spec, opts, err := b.prepare()
+	if err != nil {
+		return nil, err
+	}
+	return Trials(b.Workers, b.Trials, func(i int) Outcome {
+		return runTrial(b, spec, opts, i)
+	}), nil
+}
+
+// Run executes the batch and streams the outcomes into an Aggregate.
+func Run(b Batch) (*Aggregate, error) {
+	outcomes, err := RunOutcomes(b)
+	if err != nil {
+		return nil, err
+	}
+	return AggregateOutcomes(b, outcomes), nil
+}
+
+// AggregateOutcomes reduces trial-ordered outcomes to the batch
+// summary.
+func AggregateOutcomes(b Batch, outcomes []Outcome) *Aggregate {
+	agg := &Aggregate{Algorithm: b.Algorithm, Trials: len(outcomes), Seed: b.Seed}
+	var metRounds, moves []float64
+	for _, o := range outcomes {
+		if o.Met {
+			agg.Met++
+			metRounds = append(metRounds, float64(o.Rounds))
+		}
+		if o.Err {
+			agg.Errors++
+			continue
+		}
+		moves = append(moves, float64(o.Moves))
+	}
+	agg.Failures = agg.Trials - agg.Met
+	if agg.Trials > 0 {
+		agg.SuccessRate = float64(agg.Met) / float64(agg.Trials)
+	}
+	agg.Rounds = DistOf(metRounds)
+	agg.Moves = DistOf(moves)
+	return agg
+}
+
+// prepare validates the batch and resolves its strategy, including a
+// pre-flight program build so capability mismatches (for example
+// "noboard" without Delta) fail before any worker starts.
+func (b Batch) prepare() (algo.Spec, algo.BuildOpts, error) {
+	var spec algo.Spec
+	var opts algo.BuildOpts
+	if b.Graph == nil {
+		return spec, opts, errors.New("engine: nil graph")
+	}
+	if b.Trials <= 0 {
+		return spec, opts, fmt.Errorf("engine: batch needs Trials > 0, got %d", b.Trials)
+	}
+	n := graph.Vertex(b.Graph.N())
+	if b.StartA < 0 || b.StartA >= n || b.StartB < 0 || b.StartB >= n {
+		return spec, opts, fmt.Errorf("engine: start vertices (%d, %d) out of range [0,%d)", b.StartA, b.StartB, n)
+	}
+	spec, err := algo.Lookup(b.Algorithm)
+	if err != nil {
+		return spec, opts, fmt.Errorf("engine: %w", err)
+	}
+	params := b.Params
+	if params == (core.Params{}) {
+		params = core.PracticalParams()
+	}
+	opts = algo.BuildOpts{Params: params, Delta: b.Delta}
+	if _, _, err := spec.Programs(opts); err != nil {
+		return spec, opts, fmt.Errorf("engine: %w", err)
+	}
+	return spec, opts, nil
+}
+
+// runTrial executes one trial of the batch.
+func runTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, trial int) Outcome {
+	progA, progB, err := spec.Programs(opts)
+	if err != nil {
+		return Outcome{Err: true}
+	}
+	res, err := sim.Run(sim.Config{
+		Graph:       b.Graph,
+		StartA:      b.StartA,
+		StartB:      b.StartB,
+		NeighborIDs: spec.Caps.NeighborIDs,
+		Whiteboards: spec.Caps.Whiteboards,
+		Seed:        TrialSeed(b.Seed, trial),
+		MaxRounds:   b.MaxRounds,
+	}, progA, progB)
+	return OutcomeOf(res, err)
+}
+
+// OutcomeOf reduces one simulation result (or its error) to an
+// Outcome — the single definition of that mapping, shared with the
+// experiment harness.
+func OutcomeOf(res *sim.Result, err error) Outcome {
+	if err != nil {
+		return Outcome{Err: true}
+	}
+	out := Outcome{Moves: res.A.Moves + res.B.Moves}
+	if res.Met {
+		out.Met = true
+		out.Rounds = res.MeetRound
+	} else {
+		out.Rounds = res.Rounds
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"fnr/internal/algo"
+	"fnr/internal/graph"
+
+	_ "fnr/internal/algo/paper"
+	_ "fnr/internal/baseline"
+)
+
+func testGraph(t *testing.T) (*graph.Graph, graph.Vertex, graph.Vertex) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(11, 12))
+	g, err := graph.PlantedMinDegree(128, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := graph.Vertex(0)
+	return g, sa, g.Adj(sa)[0]
+}
+
+// The tentpole guarantee: the same batch seed produces byte-identical
+// JSON aggregates at 1 worker and at many workers.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	g, sa, sb := testGraph(t)
+	for _, name := range []string{"whiteboard", "sweep", "staywalk"} {
+		base := Batch{
+			Graph: g, StartA: sa, StartB: sb,
+			Algorithm: name, Delta: g.MinDegree(),
+			Trials: 40, Seed: 99, MaxRounds: 1 << 22,
+		}
+		var blobs [][]byte
+		for _, workers := range []int{1, 8} {
+			b := base
+			b.Workers = workers
+			agg, err := Run(b)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			blob, err := json.Marshal(agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, blob)
+		}
+		if string(blobs[0]) != string(blobs[1]) {
+			t.Errorf("%s: aggregates differ across worker counts:\n1: %s\n8: %s", name, blobs[0], blobs[1])
+		}
+	}
+}
+
+func TestOutcomesMatchTrialSeeds(t *testing.T) {
+	g, sa, sb := testGraph(t)
+	b := Batch{
+		Graph: g, StartA: sa, StartB: sb,
+		Algorithm: "sweep", Trials: 10, Seed: 5, Workers: 4,
+	}
+	outcomes, err := RunOutcomes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 10 {
+		t.Fatalf("got %d outcomes", len(outcomes))
+	}
+	// Each trial must be individually reproducible: re-running trial i
+	// as a 1-trial batch with the pre-derived seed is not possible
+	// (seeds derive from the index), but re-running the whole batch
+	// serially must reproduce every entry.
+	b.Workers = 1
+	again, err := RunOutcomes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outcomes {
+		if outcomes[i] != again[i] {
+			t.Fatalf("trial %d differs across runs: %+v vs %+v", i, outcomes[i], again[i])
+		}
+	}
+	for _, o := range outcomes {
+		if !o.Met {
+			t.Fatalf("sweep on adjacent starts must meet: %+v", o)
+		}
+	}
+}
+
+// Capability mismatch: "noboard" declares NeedsDelta, so a batch
+// without Delta must fail up front with the sentinel error.
+func TestCapabilityMismatch(t *testing.T) {
+	g, sa, sb := testGraph(t)
+	_, err := Run(Batch{
+		Graph: g, StartA: sa, StartB: sb,
+		Algorithm: "noboard", Trials: 4, Seed: 1,
+	})
+	if !errors.Is(err, algo.ErrDeltaRequired) {
+		t.Fatalf("err = %v, want ErrDeltaRequired", err)
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	g, sa, sb := testGraph(t)
+	_, err := Run(Batch{Graph: g, StartA: sa, StartB: sb, Algorithm: "nope", Trials: 1})
+	if !errors.Is(err, algo.ErrUnknown) {
+		t.Fatalf("err = %v, want ErrUnknown", err)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	g, sa, sb := testGraph(t)
+	cases := []Batch{
+		{Graph: nil, Algorithm: "sweep", Trials: 1},
+		{Graph: g, StartA: sa, StartB: sb, Algorithm: "sweep", Trials: 0},
+		{Graph: g, StartA: -1, StartB: sb, Algorithm: "sweep", Trials: 1},
+		{Graph: g, StartA: sa, StartB: graph.Vertex(g.N()), Algorithm: "sweep", Trials: 1},
+	}
+	for i, b := range cases {
+		if _, err := Run(b); err == nil {
+			t.Errorf("case %d: invalid batch accepted", i)
+		}
+	}
+}
+
+func TestTrialSeed(t *testing.T) {
+	seen := map[uint64]bool{}
+	for batch := uint64(0); batch < 4; batch++ {
+		for trial := 0; trial < 1000; trial++ {
+			s := TrialSeed(batch, trial)
+			if seen[s] {
+				t.Fatalf("seed collision at batch %d trial %d", batch, trial)
+			}
+			seen[s] = true
+		}
+	}
+	if TrialSeed(7, 3) != TrialSeed(7, 3) {
+		t.Fatal("TrialSeed not deterministic")
+	}
+}
+
+func TestTrialsOrdering(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got := Trials(workers, 50, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if Trials(4, 0, func(int) int { return 0 }) != nil {
+		t.Fatal("empty Trials should return nil")
+	}
+}
+
+func TestDistOf(t *testing.T) {
+	if d := DistOf(nil); d != (Dist{}) {
+		t.Fatalf("empty dist = %+v", d)
+	}
+	d := DistOf([]float64{1, 2, 3, 4})
+	if d.Mean != 2.5 || d.Median != 2.5 || d.Min != 1 || d.Max != 4 {
+		t.Fatalf("dist = %+v", d)
+	}
+}
+
+func TestAggregateCounts(t *testing.T) {
+	g, sa, sb := testGraph(t)
+	// walkpair with a tiny budget: misses must be counted as failures
+	// and excluded from the rounds distribution.
+	agg, err := Run(Batch{
+		Graph: g, StartA: sa, StartB: sb,
+		Algorithm: "walkpair", Trials: 8, Seed: 3, MaxRounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Met+agg.Failures != agg.Trials {
+		t.Fatalf("met %d + failures %d != trials %d", agg.Met, agg.Failures, agg.Trials)
+	}
+	if agg.Met == agg.Trials {
+		t.Fatal("1-round budget should force some misses")
+	}
+}

@@ -3,7 +3,7 @@ package harness
 import (
 	"math"
 
-	"fnr/internal/baseline"
+	"fnr/internal/engine"
 	"fnr/internal/graph"
 	"fnr/internal/stats"
 )
@@ -31,12 +31,12 @@ func runE11(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		maxRounds := int64(n) * 64
-		bd := parallelMap(cfg.Workers, cfg.Seeds, func(i int) trialOutcome {
-			a, b := baseline.BirthdayAgents()
-			return runPair(g, 0, 1, uint64(i)+1, maxRounds, true, true, a, b)
-		})
-		mp := parallelMap(cfg.Workers, cfg.Seeds, func(i int) trialOutcome {
-			return mainPhaseTrial(g, 0, 1, uint64(i)+500, maxRounds)
+		bd, err := runAlgo(cfg, cfg.Seeds, 1, g, 0, 1, "birthday", 0, maxRounds)
+		if err != nil {
+			return nil, err
+		}
+		mp := runTrials(cfg, 500, func(_ int, seed uint64) engine.Outcome {
+			return mainPhaseTrial(g, 0, 1, seed, maxRounds)
 		})
 		b := stats.Median(metRounds(bd))
 		m := stats.Median(metRounds(mp))

@@ -60,10 +60,10 @@ func runE12(cfg Config) (*Table, error) {
 		sb := g.Adj(sa)[rng.IntN(g.Degree(sa))]
 		bound := theorem1Bound(g.N(), delta, g.MaxDegree())
 		maxRounds := int64(400*bound) + 400_000
-		outcomes := parallelMap(cfg.Workers, cfg.Seeds, func(i int) trialOutcome {
-			a, b := core.WhiteboardAgents(cfg.Params, core.Knowledge{Delta: delta}, nil)
-			return runPair(g, sa, sb, uint64(i)+1, maxRounds, true, true, a, b)
-		})
+		outcomes, err := runAlgo(cfg, cfg.Seeds, 1, g, sa, sb, "whiteboard", delta, maxRounds)
+		if err != nil {
+			return nil, err
+		}
 		// Dense verification on one construct-only run per family.
 		st := &core.WhiteboardStats{}
 		_, err = sim.Run(sim.Config{

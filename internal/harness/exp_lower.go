@@ -3,44 +3,43 @@ package harness
 import (
 	"math"
 
-	"fnr/internal/baseline"
-	"fnr/internal/core"
 	"fnr/internal/lower"
 	"fnr/internal/sim"
 	"fnr/internal/stats"
 )
 
-// lowerStrategy is one strategy raced on a lower-bound instance.
+// lowerStrategy is one registered strategy raced on a lower-bound
+// instance: the table's display label plus the registry name the
+// engine resolves.
 type lowerStrategy struct {
-	name   string
-	boards bool // requires whiteboards
-	make   func(p core.Params, delta int) (sim.Program, sim.Program)
+	label string
+	algo  string
 }
 
 func walkStrategies() []lowerStrategy {
 	return []lowerStrategy{
-		{name: "stay+walk", make: func(core.Params, int) (sim.Program, sim.Program) { return baseline.StayAndWalk() }},
-		{name: "walk+walk", make: func(core.Params, int) (sim.Program, sim.Program) { return baseline.RandomWalkPair() }},
+		{label: "stay+walk", algo: "staywalk"},
+		{label: "walk+walk", algo: "walkpair"},
 	}
 }
 
-// raceOnInstance runs a strategy on an instance across seeds and
+// raceOnInstance batches a strategy on an instance across seeds and
 // returns the median meeting round (misses count as the budget) and
 // the success count.
-func raceOnInstance(cfg Config, inst *lower.Instance, s lowerStrategy, delta int, budget int64) (float64, int) {
-	outcomes := parallelMap(cfg.Workers, cfg.Seeds, func(i int) trialOutcome {
-		a, b := s.make(cfg.Params, delta)
-		return runPair(inst.G, inst.StartA, inst.StartB, uint64(i)+1, budget, !inst.KT0, s.boards, a, b)
-	})
+func raceOnInstance(cfg Config, inst *lower.Instance, s lowerStrategy, delta int, budget int64) (float64, int, error) {
+	outcomes, err := runAlgo(cfg, cfg.Seeds, 1, inst.G, inst.StartA, inst.StartB, s.algo, delta, budget)
+	if err != nil {
+		return 0, 0, err
+	}
 	var rounds []float64
 	met := 0
 	for _, o := range outcomes {
-		rounds = append(rounds, o.rounds)
-		if o.met {
+		rounds = append(rounds, float64(o.Rounds))
+		if o.Met {
 			met++
 		}
 	}
-	return stats.Median(rounds), met
+	return stats.Median(rounds), met, nil
 }
 
 // runE6 measures Ω(∆) behaviour on the Theorem-3 instances (δ = o(√n)).
@@ -55,9 +54,7 @@ func runE6(cfg Config) (*Table, error) {
 		Claim:   "every strategy — including the paper's own algorithm — needs Ω(∆) rounds",
 		Columns: []string{"n", "∆", "strategy", "median rounds", "met", "median/∆"},
 	}
-	strategies := append(walkStrategies(), lowerStrategy{
-		name: "sweep", make: func(core.Params, int) (sim.Program, sim.Program) { return baseline.StayAndSweep() },
-	})
+	strategies := append(walkStrategies(), lowerStrategy{label: "sweep", algo: "sweep"})
 	for _, half := range halves {
 		inst, err := lower.TwoStarsInstance(half)
 		if err != nil {
@@ -66,19 +63,22 @@ func runE6(cfg Config) (*Table, error) {
 		maxDeg := float64(inst.G.MaxDegree())
 		budget := int64(float64(inst.G.N()) * 64 * math.Log(float64(inst.G.N())))
 		for _, s := range strategies {
-			med, met := raceOnInstance(cfg, inst, s, 1, budget)
-			tb.AddRow(inst.G.N(), inst.G.MaxDegree(), s.name, med, met, med/maxDeg)
+			med, met, err := raceOnInstance(cfg, inst, s, 1, budget)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(inst.G.N(), inst.G.MaxDegree(), s.label, med, met, med/maxDeg)
 		}
 		// The paper's own algorithm (δ known = 1) degrades to Ω(n)
 		// here — Theorem 3 says it must. Kept to the smaller sizes:
 		// with δ = 1 its Sample phase alone costs Θ(n·log n) visits.
 		if half <= 256 {
-			s := lowerStrategy{name: "main (Thm 1 alg)", boards: true,
-				make: func(p core.Params, delta int) (sim.Program, sim.Program) {
-					return core.WhiteboardAgents(p, core.Knowledge{Delta: delta}, nil)
-				}}
-			med, met := raceOnInstance(cfg, inst, s, 1, budget*8)
-			tb.AddRow(inst.G.N(), inst.G.MaxDegree(), s.name, med, met, med/maxDeg)
+			s := lowerStrategy{label: "main (Thm 1 alg)", algo: "whiteboard"}
+			med, met, err := raceOnInstance(cfg, inst, s, 1, budget*8)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(inst.G.N(), inst.G.MaxDegree(), s.label, med, met, med/maxDeg)
 		}
 	}
 	tb.AddNote("median/∆ bounded below by a constant across n ⇒ Ω(∆) as predicted; no strategy is sublinear (misses are recorded at the round budget)")
@@ -105,12 +105,15 @@ func runE7(cfg Config) (*Table, error) {
 		}
 		budget := int64(n) * int64(n) / 2
 		for _, s := range walkStrategies() {
-			med, met := raceOnInstance(cfg, inst, s, 0, budget)
-			tb.AddRow(n, s.name, med, met, med/float64(n))
+			med, met, err := raceOnInstance(cfg, inst, s, 0, budget)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(n, s.label, med, met, med/float64(n))
 		}
 	}
 	tb.AddNote("median/n stays bounded below ⇒ Ω(n) (Theorem 4's bound); these port-blind walkers in fact pay ~n² — crossing either bridge is a 1/Θ(n) event at a 1/Θ(n) vertex")
-	tb.AddNote("KT1 strategies (MoveToID) are rejected by the runtime in this mode — the experiment physically cannot cheat")
+	tb.AddNote("the walkers declare no neighbor-ID capability, so the engine runs them in KT0 — the experiment physically cannot cheat")
 	return tb, nil
 }
 
@@ -135,19 +138,22 @@ func runE8(cfg Config) (*Table, error) {
 		n := inst.G.N()
 		budget := int64(n) * 256
 		for _, s := range walkStrategies() {
-			med, met := raceOnInstance(cfg, inst, s, 0, budget)
-			tb.AddRow(n, inst.G.MinDegree(), s.name, med, met, med/float64(n))
+			med, met, err := raceOnInstance(cfg, inst, s, 0, budget)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(n, inst.G.MinDegree(), s.label, med, met, med/float64(n))
 		}
 		// The paper's whiteboard algorithm assumes distance 1: b's
 		// marks carry an ID that a cannot reach in one hop, so the
 		// algorithm never completes (recorded as met=0).
 		if size <= 129 {
-			s := lowerStrategy{name: "main (Thm 1 alg)", boards: true,
-				make: func(p core.Params, delta int) (sim.Program, sim.Program) {
-					return core.WhiteboardAgents(p, core.Knowledge{Delta: delta}, nil)
-				}}
-			med, met := raceOnInstance(cfg, inst, s, inst.G.MinDegree(), budget)
-			tb.AddRow(n, inst.G.MinDegree(), s.name, med, met, med/float64(n))
+			s := lowerStrategy{label: "main (Thm 1 alg)", algo: "whiteboard"}
+			med, met, err := raceOnInstance(cfg, inst, s, inst.G.MinDegree(), budget)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(n, inst.G.MinDegree(), s.label, med, met, med/float64(n))
 		}
 	}
 	tb.AddNote("the distance-1 assumption is load-bearing: Theorem 1's algorithm stalls at distance 2 exactly as Theorem 5 predicts")

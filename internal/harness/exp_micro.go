@@ -53,11 +53,11 @@ func runE4(cfg Config) (*Table, error) {
 			falseHeavy, falseLight int
 			visits                 int64
 		}
-		outcomes := parallelMap(cfg.Workers, cfg.Seeds, func(i int) oc {
+		outcomes := runTrials(cfg, 1, func(_ int, seed uint64) oc {
 			rep := &core.SampleReport{}
 			_, err := sim.Run(sim.Config{
 				Graph: g, StartA: 0, StartB: 1,
-				NeighborIDs: true, Seed: uint64(i) + 1,
+				NeighborIDs: true, Seed: seed,
 				MaxRounds: 1 << 40, DisableMeeting: true,
 			}, core.SampleClassifier(cfg.Params, 8*alpha, rep), ghost)
 			if err != nil {
@@ -127,11 +127,11 @@ func runE5(cfg Config) (*Table, error) {
 			rounds        float64
 			dense         bool
 		}
-		outcomes := parallelMap(cfg.Workers, cfg.Seeds, func(i int) oc {
+		outcomes := runTrials(cfg, 1, func(_ int, seed uint64) oc {
 			st := &core.WhiteboardStats{}
 			_, err := sim.Run(sim.Config{
 				Graph: g, StartA: sa, StartB: 0,
-				NeighborIDs: true, Seed: uint64(i) + 1,
+				NeighborIDs: true, Seed: seed,
 				MaxRounds: 1 << 40, DisableMeeting: true,
 			}, core.ConstructOnly(cfg.Params, core.Knowledge{Delta: delta}, st), ghost)
 			if err != nil {
@@ -186,10 +186,10 @@ func runE10(cfg Config) (*Table, error) {
 		delta := g.MinDegree()
 		bound := theorem1Bound(n, delta, g.MaxDegree())
 		maxRounds := int64(400*bound) + 400_000
-		outcomes := parallelMap(cfg.Workers, seeds, func(i int) trialOutcome {
-			a, b := core.WhiteboardAgents(cfg.Params, core.Knowledge{Delta: delta}, nil)
-			return runPair(g, sa, sb, uint64(i)+1, maxRounds, true, true, a, b)
-		})
+		outcomes, err := runAlgo(cfg, seeds, 1, g, sa, sb, "whiteboard", delta, maxRounds)
+		if err != nil {
+			return nil, err
+		}
 		rounds := metRounds(outcomes)
 		tb.AddRow("whiteboard (Thm 1)", delta, seeds, len(rounds), stats.Rate(len(rounds), seeds),
 			stats.Median(rounds), stats.Quantile(rounds, 0.99), bound, stats.Quantile(rounds, 0.99)/bound)
@@ -203,10 +203,10 @@ func runE10(cfg Config) (*Table, error) {
 		}
 		delta := g.MinDegree()
 		bound := theorem2Bound(cfg.Params, n, delta)
-		outcomes := parallelMap(cfg.Workers, seeds, func(i int) trialOutcome {
-			a, b := core.NoboardAgents(cfg.Params, delta, nil)
-			return runPair(g, sa, sb, uint64(i)+1, int64(40*bound), true, false, a, b)
-		})
+		outcomes, err := runAlgo(cfg, seeds, 1, g, sa, sb, "noboard", delta, int64(40*bound))
+		if err != nil {
+			return nil, err
+		}
 		rounds := metRounds(outcomes)
 		tb.AddRow("no-whiteboard (Thm 2)", delta, seeds, len(rounds), stats.Rate(len(rounds), seeds),
 			stats.Median(rounds), stats.Quantile(rounds, 0.99), bound, stats.Quantile(rounds, 0.99)/bound)
@@ -248,11 +248,11 @@ func runA1(cfg Config) (*Table, error) {
 				rounds float64
 				strict int
 			}
-			outcomes := parallelMap(cfg.Workers, cfg.Seeds, func(i int) oc {
+			outcomes := runTrials(cfg, 1, func(_ int, seed uint64) oc {
 				st := &core.WhiteboardStats{}
 				_, err := sim.Run(sim.Config{
 					Graph: g, StartA: sa, StartB: 0,
-					NeighborIDs: true, Seed: uint64(i) + 1,
+					NeighborIDs: true, Seed: seed,
 					MaxRounds: 1 << 40, DisableMeeting: true,
 				}, core.ConstructOnly(p, core.Knowledge{Delta: delta}, st), ghost)
 				if err != nil {
@@ -319,11 +319,11 @@ func runA2(cfg Config) (*Table, error) {
 					rounds   float64
 					restarts int
 				}
-				outcomes := parallelMap(cfg.Workers, cfg.Seeds, func(i int) oc {
+				outcomes := runTrials(cfg, 1, func(_ int, seed uint64) oc {
 					st := &core.WhiteboardStats{}
 					_, err := sim.Run(sim.Config{
 						Graph: g, StartA: sa, StartB: 0,
-						NeighborIDs: true, Seed: uint64(i) + 1,
+						NeighborIDs: true, Seed: seed,
 						MaxRounds: 1 << 40, DisableMeeting: true,
 					}, core.ConstructOnly(cfg.Params, know, st), ghost)
 					if err != nil {

@@ -3,8 +3,8 @@ package harness
 import (
 	"math"
 
-	"fnr/internal/baseline"
 	"fnr/internal/core"
+	"fnr/internal/engine"
 	"fnr/internal/graph"
 	"fnr/internal/sim"
 	"fnr/internal/stats"
@@ -37,7 +37,7 @@ func theorem2Bound(p core.Params, n, delta int) float64 {
 
 // mainPhaseTrial runs the warm-start Main-Rendezvous (oracle dense set,
 // Lemma 1 isolation) once.
-func mainPhaseTrial(g *graph.Graph, sa, sb graph.Vertex, seed uint64, maxRounds int64) trialOutcome {
+func mainPhaseTrial(g *graph.Graph, sa, sb graph.Vertex, seed uint64, maxRounds int64) engine.Outcome {
 	t, via := core.DenseSetOracle(g, sa)
 	return runPair(g, sa, sb, seed, maxRounds, true, true,
 		core.MainPhaseAgentA(t, via), core.AgentB())
@@ -71,12 +71,12 @@ func runE1(cfg Config) (*Table, error) {
 		bound := theorem1Bound(n, delta, g.MaxDegree())
 		l1 := lemma1Bound(n, delta, g.MaxDegree())
 		maxRounds := int64(400*bound) + 400_000
-		e2e := parallelMap(cfg.Workers, cfg.Seeds, func(i int) trialOutcome {
-			a, b := core.WhiteboardAgents(cfg.Params, core.Knowledge{Delta: delta}, nil)
-			return runPair(g, sa, sb, uint64(i)+1, maxRounds, true, true, a, b)
-		})
-		mp := parallelMap(cfg.Workers, cfg.Seeds, func(i int) trialOutcome {
-			return mainPhaseTrial(g, sa, sb, uint64(i)+1000, maxRounds)
+		e2e, err := runAlgo(cfg, cfg.Seeds, 1, g, sa, sb, "whiteboard", delta, maxRounds)
+		if err != nil {
+			return nil, err
+		}
+		mp := runTrials(cfg, 1000, func(_ int, seed uint64) engine.Outcome {
+			return mainPhaseTrial(g, sa, sb, seed, maxRounds)
 		})
 		e2eRounds := metRounds(e2e)
 		mpRounds := metRounds(mp)
@@ -123,17 +123,17 @@ func runE2(cfg Config) (*Table, error) {
 		delta := g.MinDegree()
 		bound := theorem1Bound(n, delta, g.MaxDegree())
 		maxRounds := int64(400*bound) + 400_000
-		sweepOut := parallelMap(cfg.Workers, cfg.Seeds, func(i int) trialOutcome {
-			a, b := baseline.StayAndSweep()
-			return runPair(g, sa, sb, uint64(i)+1, int64(4*g.MaxDegree()+16), true, false, a, b)
+		sweepOut, err := runAlgo(cfg, cfg.Seeds, 1, g, sa, sb, "sweep", 0, int64(4*g.MaxDegree()+16))
+		if err != nil {
+			return nil, err
+		}
+		mpOut := runTrials(cfg, 1000, func(_ int, seed uint64) engine.Outcome {
+			return mainPhaseTrial(g, sa, sb, seed, maxRounds)
 		})
-		mpOut := parallelMap(cfg.Workers, cfg.Seeds, func(i int) trialOutcome {
-			return mainPhaseTrial(g, sa, sb, uint64(i)+1000, maxRounds)
-		})
-		e2eOut := parallelMap(cfg.Workers, cfg.Seeds, func(i int) trialOutcome {
-			a, b := core.WhiteboardAgents(cfg.Params, core.Knowledge{Delta: delta}, nil)
-			return runPair(g, sa, sb, uint64(i)+1, maxRounds, true, true, a, b)
-		})
+		e2eOut, err := runAlgo(cfg, cfg.Seeds, 1, g, sa, sb, "whiteboard", delta, maxRounds)
+		if err != nil {
+			return nil, err
+		}
 		sweepMed := stats.Median(metRounds(sweepOut))
 		mpMed := stats.Median(metRounds(mpOut))
 		e2eMed := stats.Median(metRounds(e2eOut))
@@ -185,10 +185,10 @@ func runE3(cfg Config) (*Table, error) {
 			tPrime := int64(math.Ceil(cfg.Params.C1 * float64(g.NPrime()) * ln * ln / float64(delta)))
 			phaseBound := float64(n) / math.Sqrt(float64(delta)) * ln * ln
 			sched := tPrime + int64(40*phaseBound) + 400_000
-			e2e := parallelMap(cfg.Workers, cfg.Seeds, func(i int) trialOutcome {
-				a, b := core.NoboardAgents(cfg.Params, delta, nil)
-				return runPair(g, sa, sb, uint64(i)+1, sched, true, false, a, b)
-			})
+			e2e, err := runAlgo(cfg, cfg.Seeds, 1, g, sa, sb, "noboard", delta, sched)
+			if err != nil {
+				return nil, err
+			}
 			// Designed-mechanism measurement: let the schedule play out
 			// in full (meeting detection off), record every
 			// co-location, and take the first one inside one of agent
@@ -200,17 +200,17 @@ func runE3(cfg Config) (*Table, error) {
 				pos   graph.Vertex
 			}
 			type oc struct {
-				trialOutcome
+				engine.Outcome
 				overflow int
 			}
-			mech := parallelMap(cfg.Workers, cfg.Seeds, func(i int) oc {
+			mech := runTrials(cfg, 1, func(_ int, seed uint64) oc {
 				st := &core.NoboardStats{}
 				a, b := core.NoboardAgents(cfg.Params, delta, st)
 				var events []coloc
 				_, err := sim.Run(sim.Config{
 					Graph: g, StartA: sa, StartB: sb,
 					NeighborIDs: true, Whiteboards: false,
-					Seed: uint64(i) + 1, MaxRounds: sched,
+					Seed: seed, MaxRounds: sched,
 					DisableMeeting: true,
 					Observer: func(ev sim.RoundEvent) {
 						if ev.PosA == ev.PosB {
@@ -226,18 +226,18 @@ func runE3(cfg Config) (*Table, error) {
 					id := g.ID(ev.pos)
 					for _, r := range st.Residencies {
 						if r.VertexID == id && ev.round >= r.From && ev.round <= r.To {
-							out.met = true
-							out.rounds = float64(ev.round - tPrime)
+							out.Met = true
+							out.Rounds = ev.round - tPrime
 							return out
 						}
 					}
 				}
 				return out
 			})
-			var mechPlain []trialOutcome
+			var mechPlain []engine.Outcome
 			overflow := 0
 			for _, o := range mech {
-				mechPlain = append(mechPlain, o.trialOutcome)
+				mechPlain = append(mechPlain, o.Outcome)
 				overflow += o.overflow
 			}
 			e2eRounds := metRounds(e2e)

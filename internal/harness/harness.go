@@ -11,11 +11,16 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
-	"sync"
 
 	"fnr/internal/core"
+	"fnr/internal/engine"
 	"fnr/internal/graph"
 	"fnr/internal/sim"
+
+	// Strategy registrations for the engine batches the experiments
+	// submit.
+	_ "fnr/internal/algo/paper"
+	_ "fnr/internal/baseline"
 )
 
 // Config tunes how heavy the experiment suite runs.
@@ -92,28 +97,34 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// parallelMap runs f(0..count-1) on at most `workers` goroutines and
-// collects the results in order.
-func parallelMap[T any](workers, count int, f func(i int) T) []T {
-	out := make([]T, count)
-	if workers < 1 {
-		workers = 1
-	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < count; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() {
-				<-sem
-				wg.Done()
-			}()
-			out[i] = f(i)
-		}(i)
-	}
-	wg.Wait()
-	return out
+// runTrials fans cfg.Seeds custom trials across the engine's worker
+// pool. Each trial receives the deterministic seed derived from
+// (batchSeed, trial); results come back in trial order, so downstream
+// aggregation is independent of the worker count. Experiments that
+// run a registered algorithm end-to-end submit an engine batch via
+// runAlgo instead — this generic path is for bespoke program pairs
+// (Construct-only diagnostics, oracle warm starts, observer taps).
+func runTrials[T any](cfg Config, batchSeed uint64, f func(trial int, seed uint64) T) []T {
+	return engine.Trials(cfg.Workers, cfg.Seeds, func(i int) T {
+		return f(i, engine.TrialSeed(batchSeed, i))
+	})
+}
+
+// runAlgo submits one batch of a registered algorithm to the engine
+// and returns the per-trial outcomes.
+func runAlgo(cfg Config, trials int, batchSeed uint64, g *graph.Graph, sa, sb graph.Vertex, name string, delta int, maxRounds int64) ([]engine.Outcome, error) {
+	return engine.RunOutcomes(engine.Batch{
+		Graph:     g,
+		StartA:    sa,
+		StartB:    sb,
+		Algorithm: name,
+		Params:    cfg.Params,
+		Delta:     delta,
+		Trials:    trials,
+		Seed:      batchSeed,
+		MaxRounds: maxRounds,
+		Workers:   cfg.Workers,
+	})
 }
 
 // plantedWorkload builds the standard quasi-regular scaling workload: a
@@ -139,15 +150,12 @@ func plantedWorkload(n, d int, seed uint64) (*graph.Graph, graph.Vertex, graph.V
 	return g, u, v, nil
 }
 
-// trialOutcome is one simulation result reduced to what the tables use.
-type trialOutcome struct {
-	met    bool
-	rounds float64
-}
-
-// runPair executes one configured rendezvous trial.
-func runPair(g *graph.Graph, sa, sb graph.Vertex, seed uint64, maxRounds int64, kt1, boards bool, a, b sim.Program) trialOutcome {
-	res, err := sim.Run(sim.Config{
+// runPair executes one bespoke rendezvous trial (custom program
+// pair) and reduces it to an engine.Outcome, matching what batches
+// produce. Errors (experiment programs must not panic) surface as
+// Err outcomes, which count as misses.
+func runPair(g *graph.Graph, sa, sb graph.Vertex, seed uint64, maxRounds int64, kt1, boards bool, a, b sim.Program) engine.Outcome {
+	return engine.OutcomeOf(sim.Run(sim.Config{
 		Graph:       g,
 		StartA:      sa,
 		StartB:      sb,
@@ -155,23 +163,15 @@ func runPair(g *graph.Graph, sa, sb graph.Vertex, seed uint64, maxRounds int64, 
 		Whiteboards: boards,
 		Seed:        seed,
 		MaxRounds:   maxRounds,
-	}, a, b)
-	if err != nil {
-		// Experiment programs must not panic; surface as a miss.
-		return trialOutcome{}
-	}
-	if !res.Met {
-		return trialOutcome{rounds: float64(res.Rounds)}
-	}
-	return trialOutcome{met: true, rounds: float64(res.MeetRound)}
+	}, a, b))
 }
 
-// metRounds extracts the rounds of successful trials.
-func metRounds(outcomes []trialOutcome) []float64 {
+// metRounds extracts the meeting rounds of successful trials.
+func metRounds(outcomes []engine.Outcome) []float64 {
 	var xs []float64
 	for _, o := range outcomes {
-		if o.met {
-			xs = append(xs, o.rounds)
+		if o.Met {
+			xs = append(xs, float64(o.Rounds))
 		}
 	}
 	return xs

@@ -58,15 +58,28 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
-func TestParallelMap(t *testing.T) {
-	got := parallelMap(3, 20, func(i int) int { return i * i })
-	for i, v := range got {
-		if v != i*i {
-			t.Fatalf("got[%d] = %d", i, v)
-		}
+func TestRunTrialsOrderAndSeeds(t *testing.T) {
+	cfg := Config{Seeds: 20, Workers: 3}
+	type rec struct {
+		trial int
+		seed  uint64
 	}
-	if len(parallelMap(0, 0, func(int) int { return 0 })) != 0 {
-		t.Fatal("empty map failed")
+	got := runTrials(cfg, 42, func(trial int, seed uint64) rec { return rec{trial, seed} })
+	if len(got) != 20 {
+		t.Fatalf("got %d results, want 20", len(got))
+	}
+	seeds := map[uint64]bool{}
+	for i, r := range got {
+		if r.trial != i {
+			t.Fatalf("got[%d].trial = %d (results out of order)", i, r.trial)
+		}
+		if seeds[r.seed] {
+			t.Fatalf("duplicate trial seed %d", r.seed)
+		}
+		seeds[r.seed] = true
+	}
+	if len(runTrials(Config{Seeds: 0}, 1, func(int, uint64) int { return 0 })) != 0 {
+		t.Fatal("empty trial set failed")
 	}
 }
 
