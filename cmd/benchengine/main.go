@@ -1,14 +1,19 @@
 // Command benchengine emits BENCH_engine.json: the fixed reference
 // batch (whiteboard vs sweep, 200 trials each on PlantedMinDegree
 // (1024, 181), batch seed 7) that gives later changes a perf
-// trajectory to compare against. The aggregates are deterministic —
-// only the elapsed_ms fields vary between machines and runs.
+// trajectory to compare against. Each batch is timed three ways — the
+// stepper fast path in parallel and serially, and the goroutine-backed
+// Program path serially — and the aggregates of every run are checked
+// byte-identical before anything is written. The aggregates are
+// deterministic; only the *_elapsed_ms fields vary between machines
+// and runs.
 //
 // Usage:
 //
 //	benchengine              # writes BENCH_engine.json in the cwd
 //	benchengine -o out.json
 //	benchengine -trials 500 -parallel 8
+//	benchengine -cpuprofile cpu.pprof   # profile the timed runs
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"fnr"
@@ -25,11 +31,21 @@ import (
 
 type batchReport struct {
 	Aggregate *fnr.Aggregate `json:"aggregate"`
-	// ElapsedMS is wall-clock for the batch at the configured worker
-	// count (machine-dependent; excluded from determinism claims).
+	// ElapsedMS is wall-clock for the batch on the stepper fast path
+	// at the configured worker count (machine-dependent; excluded
+	// from determinism claims, like every elapsed field here).
 	ElapsedMS int64 `json:"elapsed_ms"`
-	// SerialElapsedMS is wall-clock for the same batch at one worker.
+	// SerialElapsedMS is wall-clock for the goroutine-backed Program
+	// path at one worker — the classic path, kept as the baseline the
+	// stepper path is measured against.
 	SerialElapsedMS int64 `json:"serial_elapsed_ms"`
+	// StepperElapsedMS is wall-clock for the stepper fast path at one
+	// worker.
+	StepperElapsedMS int64 `json:"stepper_elapsed_ms"`
+	// StepperSpeedup is SerialElapsedMS / StepperElapsedMS: how much
+	// the goroutine-free path gains over the goroutine path, serial
+	// against serial.
+	StepperSpeedup float64 `json:"stepper_speedup"`
 }
 
 type report struct {
@@ -42,16 +58,28 @@ type report struct {
 	Batches    map[string]batchReport `json:"batches"`
 }
 
+// timedRun executes the batch and returns its aggregate with
+// wall-clock milliseconds (minimum 1, so speedup ratios stay finite).
+func timedRun(b fnr.Batch) (*fnr.Aggregate, int64) {
+	start := time.Now()
+	agg, err := fnr.RunBatch(b)
+	if err != nil {
+		log.Fatalf("%s: %v", b.Algorithm, err)
+	}
+	return agg, max(time.Since(start).Milliseconds(), 1)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchengine: ")
 	var (
-		out      = flag.String("o", "BENCH_engine.json", "output path")
-		n        = flag.Int("n", 1024, "graph size")
-		d        = flag.Int("d", 181, "planted minimum degree")
-		trials   = flag.Int("trials", 200, "trials per batch")
-		seed     = flag.Uint64("seed", 7, "batch seed (also the graph seed)")
-		parallel = flag.Int("parallel", 0, "worker count for the timed run (0 = GOMAXPROCS)")
+		out        = flag.String("o", "BENCH_engine.json", "output path")
+		n          = flag.Int("n", 1024, "graph size")
+		d          = flag.Int("d", 181, "planted minimum degree")
+		trials     = flag.Int("trials", 200, "trials per batch")
+		seed       = flag.Uint64("seed", 7, "batch seed (also the graph seed)")
+		parallel   = flag.Int("parallel", 0, "worker count for the timed run (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
 	)
 	flag.Parse()
 
@@ -70,6 +98,18 @@ func main() {
 	}
 	sb := g.Adj(sa)[rng.IntN(g.Degree(sa))]
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	rep := report{
 		N: *n, D: *d, Trials: *trials, Seed: *seed,
 		Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -86,27 +126,26 @@ func main() {
 			Seed:      *seed,
 			Workers:   workers,
 		}
-		start := time.Now()
-		agg, err := fnr.RunBatch(batch)
-		if err != nil {
-			log.Fatalf("%s: %v", name, err)
-		}
-		elapsed := time.Since(start)
+		// Stepper fast path, configured workers.
+		agg, elapsed := timedRun(batch)
 
+		// Stepper fast path, serial.
 		batch.Workers = 1
-		start = time.Now()
-		serialAgg, err := fnr.RunBatch(batch)
-		if err != nil {
-			log.Fatalf("%s (serial): %v", name, err)
-		}
-		serialElapsed := time.Since(start)
-		if *serialAgg != *agg {
-			log.Fatalf("%s: serial and parallel aggregates differ — engine determinism broken", name)
+		stepperAgg, stepperElapsed := timedRun(batch)
+
+		// Goroutine-backed Program path, serial.
+		batch.ForceProgramPath = true
+		serialAgg, serialElapsed := timedRun(batch)
+
+		if *serialAgg != *agg || *stepperAgg != *agg {
+			log.Fatalf("%s: aggregates differ across paths/workers — engine determinism broken", name)
 		}
 		rep.Batches[name] = batchReport{
-			Aggregate:       agg,
-			ElapsedMS:       elapsed.Milliseconds(),
-			SerialElapsedMS: serialElapsed.Milliseconds(),
+			Aggregate:        agg,
+			ElapsedMS:        elapsed,
+			SerialElapsedMS:  serialElapsed,
+			StepperElapsedMS: stepperElapsed,
+			StepperSpeedup:   float64(serialElapsed) / float64(stepperElapsed),
 		}
 	}
 
@@ -123,6 +162,10 @@ func main() {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %s (whiteboard %dms, sweep %dms at %d workers)",
-		*out, rep.Batches["whiteboard"].ElapsedMS, rep.Batches["sweep"].ElapsedMS, workers)
+	for _, name := range []string{"whiteboard", "sweep"} {
+		b := rep.Batches[name]
+		log.Printf("%s: stepper %dms vs goroutine %dms serial (%.1fx), %dms at %d workers",
+			name, b.StepperElapsedMS, b.SerialElapsedMS, b.StepperSpeedup, b.ElapsedMS, workers)
+	}
+	log.Printf("wrote %s", *out)
 }

@@ -74,6 +74,15 @@ type (
 	Env = sim.Env
 	// Program is a mobile-agent algorithm in direct style.
 	Program = sim.Program
+	// Stepper is a mobile-agent algorithm in state-machine style —
+	// the goroutine-free fast path for batch trials.
+	Stepper = sim.Stepper
+	// StepContext carries the run-constant inputs to a Stepper's Init.
+	StepContext = sim.StepContext
+	// View is the per-round observation handed to a Stepper.
+	View = sim.View
+	// Action is one Stepper decision for one acting round.
+	Action = sim.Action
 	// Instance is a packaged lower-bound scenario.
 	Instance = lower.Instance
 	// Experiment is one entry of the reproduction suite.
@@ -125,6 +134,30 @@ var (
 // VerifyDense checks the paper's (z, α, β)-dense condition of a vertex
 // set against the ground-truth graph (test/diagnostics helper).
 var VerifyDense = core.VerifyDense
+
+// Stepper action constructors and adapters, re-exported for custom
+// strategies (see RunSteppers and RegisterAlgorithm).
+var (
+	// ActStay spends one round at the current vertex.
+	ActStay = sim.Stay
+	// ActStayFor spends k rounds at the current vertex (k < 1 is
+	// clamped to 1); the simulator fast-forwards overlapping waits.
+	ActStayFor = sim.StayFor
+	// ActMove crosses the edge behind a local port.
+	ActMove = sim.Move
+	// ActHalt stops the agent at its current vertex permanently.
+	ActHalt = sim.Halt
+	// ActAbort fails the whole run with an error (the stepper
+	// counterpart of a Program panic).
+	ActAbort = sim.Abort
+	// ProgramStepper adapts a direct-style Program into a Stepper via
+	// a lightweight coroutine, keeping it on the fast path without a
+	// state-machine rewrite.
+	ProgramStepper = sim.NewProgramStepper
+	// AlgorithmSteppersFromPrograms lifts an AlgorithmSpec.Build
+	// function into a BuildSteppers function using ProgramStepper.
+	AlgorithmSteppersFromPrograms = algo.SteppersFromPrograms
+)
 
 // Experiments returns the full reproduction suite (E1–E10, A1, A2).
 func Experiments() []Experiment { return harness.All() }
@@ -244,12 +277,32 @@ type (
 // (and thus Algorithm values), and a duplicate — including the zero
 // value, which collides with AlgWhiteboard's rank — panics at
 // registration.
+//
+// A spec can describe its agents two ways, and the choice is a
+// throughput tradeoff:
+//
+//   - Build (required) constructs direct-style Programs: ordinary Go
+//     functions, easiest to write and read, each hosted on its own
+//     goroutine with two channel handoffs per acting round when run
+//     via Rendezvous/RunPrograms.
+//   - BuildSteppers (optional) constructs state-machine Steppers that
+//     the simulator steps inline — no goroutines, no channels, and
+//     with per-trial scratch reuse inside RunBatch. Batches select
+//     this fast path automatically when it is present; on the
+//     reference benchmark it is several times faster per trial.
+//
+// A spec that provides both must keep them behaviorally identical
+// (same actions, same RNG draw order). The cheap middle ground is
+// AlgorithmSteppersFromPrograms, which hosts the Build programs on
+// coroutines: direct style, most of the fast-path win, no rewrite.
 var RegisterAlgorithm = algo.Register
 
 // Options tunes a Rendezvous run. The zero value is usable for every
 // algorithm except AlgNoWhiteboard (which needs Delta).
 type Options struct {
-	// Seed drives all agent randomness (defaults to 1).
+	// Seed drives all agent randomness. Seed 0 is normalized to 1 by
+	// the simulator itself, so every entry point (Rendezvous,
+	// RunBatch, RunPrograms, RunSteppers) agrees on the default run.
 	Seed uint64
 	// MaxRounds bounds the run (defaults to 4n²+1000).
 	MaxRounds int64
@@ -288,10 +341,6 @@ func Rendezvous(g *Graph, startA, startB Vertex, a Algorithm, opt Options) (*Res
 	if params == (Params{}) {
 		params = core.PracticalParams()
 	}
-	seed := opt.Seed
-	if seed == 0 {
-		seed = 1
-	}
 	progA, progB, err := spec.Programs(algo.BuildOpts{
 		Params:          params,
 		Delta:           opt.Delta,
@@ -308,7 +357,7 @@ func Rendezvous(g *Graph, startA, startB Vertex, a Algorithm, opt Options) (*Res
 		NeighborIDs: spec.Caps.NeighborIDs,
 		Whiteboards: spec.Caps.Whiteboards,
 		MaxRounds:   opt.MaxRounds,
-		Seed:        seed,
+		Seed:        opt.Seed,
 		Observer:    opt.Observer,
 	}, progA, progB)
 }
@@ -340,6 +389,14 @@ func RunBatchOutcomes(b Batch) ([]BatchOutcome, error) { return engine.RunOutcom
 // strategies.
 func RunPrograms(cfg SimConfig, a, b Program) (*Result, error) {
 	return sim.Run(cfg, a, b)
+}
+
+// RunSteppers executes two state-machine agents under an explicit
+// simulation configuration — the goroutine-free counterpart of
+// RunPrograms. Mixing styles is fine: wrap a Program with
+// ProgramStepper to run it against a native Stepper.
+func RunSteppers(cfg SimConfig, a, b Stepper) (*Result, error) {
+	return sim.RunSteppers(cfg, a, b)
 }
 
 // HardKind selects a lower-bound instance family.

@@ -266,6 +266,100 @@ func TestCustomProgramAPI(t *testing.T) {
 	}
 }
 
+// Custom steppers run through the re-exported state-machine surface.
+type testChaseStepper struct{ n int64 }
+
+func (s *testChaseStepper) Init(ctx *StepContext) { s.n = ctx.NPrime }
+
+func (s *testChaseStepper) Next(v *View) Action {
+	if p, ok := v.PortOfID((v.HereID + 1) % s.n); ok {
+		return ActMove(p)
+	}
+	return ActHalt()
+}
+
+type testWaitStepper struct{}
+
+func (testWaitStepper) Init(*StepContext) {}
+
+func (testWaitStepper) Next(*View) Action { return ActStayFor(1 << 20) }
+
+func TestCustomStepperAPI(t *testing.T) {
+	g, err := Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSteppers(SimConfig{
+		Graph: g, StartA: 0, StartB: 4, NeighborIDs: true, MaxRounds: 20,
+	}, &testChaseStepper{}, testWaitStepper{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || res.MeetVertex != 4 {
+		t.Fatalf("custom stepper rendezvous failed: %+v", res)
+	}
+	// Mixing styles: a coroutine-hosted Program against the stepper.
+	waiter := func(e *Env) {
+		for {
+			e.Stay()
+		}
+	}
+	res, err = RunSteppers(SimConfig{
+		Graph: g, StartA: 0, StartB: 4, NeighborIDs: true, MaxRounds: 20,
+	}, &testChaseStepper{}, ProgramStepper(waiter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || res.MeetVertex != 4 {
+		t.Fatalf("mixed-style rendezvous failed: %+v", res)
+	}
+}
+
+// Seed-0 regression: Options.Seed == 0 used to be normalized to 1 in
+// Rendezvous only, so the same logical run differed between entry
+// points (Rendezvous vs RunPrograms vs the batch engine). The default
+// now lives in the simulator; every entry point must agree.
+func TestSeedZeroAgreesAcrossEntryPoints(t *testing.T) {
+	g, err := Complete(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFacade := func(seed uint64) *Result {
+		res, err := Rendezvous(g, 0, 7, AlgWalkPair, Options{Seed: seed, MaxRounds: 1 << 22})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	walker := func(e *Env) {
+		for {
+			if err := e.MoveToPort(e.Rand().IntN(e.Degree())); err != nil {
+				panic(err)
+			}
+		}
+	}
+	viaPrograms := func(seed uint64) *Result {
+		res, err := RunPrograms(SimConfig{Graph: g, StartA: 0, StartB: 7, Seed: seed, MaxRounds: 1 << 22}, walker, walker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Seed 0 and seed 1 are the same run on every path…
+	if *viaFacade(0) != *viaFacade(1) {
+		t.Error("Rendezvous: Seed 0 and Seed 1 differ")
+	}
+	if *viaPrograms(0) != *viaPrograms(1) {
+		t.Error("RunPrograms: Seed 0 and Seed 1 differ")
+	}
+	// …and the paths agree with each other (walkpair is exactly the
+	// two-walker program pair).
+	if *viaFacade(0) != *viaPrograms(0) {
+		t.Errorf("entry points disagree on the default-seeded run:\nRendezvous:  %+v\nRunPrograms: %+v",
+			*viaFacade(0), *viaPrograms(0))
+	}
+}
+
 func TestExperimentsRegistryExposed(t *testing.T) {
 	if len(Experiments()) != 14 {
 		t.Fatalf("got %d experiments", len(Experiments()))

@@ -92,6 +92,16 @@ type Spec struct {
 	// Build constructs a fresh program pair for one run. Programs are
 	// stateful closures: call Build once per trial.
 	Build func(o BuildOpts) (a, b sim.Program, err error)
+	// BuildSteppers, when non-nil, constructs the strategy as a pair
+	// of state-machine steppers for the engine's goroutine-free fast
+	// path; the engine prefers it automatically. It must be
+	// behaviorally identical to Build — same action sequence, same
+	// RNG draw order — so that a batch produces byte-identical
+	// results on either path (internal/engine's differential suite
+	// enforces this for every registered strategy). Direct-style
+	// strategies can satisfy it cheaply with SteppersFromPrograms;
+	// specs that leave it nil simply stay on the Program path.
+	BuildSteppers func(o BuildOpts) (a, b sim.Stepper, err error)
 }
 
 // check validates the NeedsDelta capability; Build implementations
@@ -113,6 +123,37 @@ func (s Spec) Programs(o BuildOpts) (a, b sim.Program, err error) {
 		o.Params = core.PracticalParams()
 	}
 	return s.Build(o)
+}
+
+// Steppers builds a fresh stepper pair after validating o against the
+// spec's capabilities; it fails for specs without a stepper builder.
+// Prefer this over calling BuildSteppers directly.
+func (s Spec) Steppers(o BuildOpts) (a, b sim.Stepper, err error) {
+	if s.BuildSteppers == nil {
+		return nil, nil, fmt.Errorf("algo %q: no stepper builder (Program path only)", s.Name)
+	}
+	if err := s.check(o); err != nil {
+		return nil, nil, err
+	}
+	if o.Params == (core.Params{}) {
+		o.Params = core.PracticalParams()
+	}
+	return s.BuildSteppers(o)
+}
+
+// SteppersFromPrograms lifts a Program-pair builder into a
+// stepper-pair builder by hosting each program on a lightweight
+// coroutine (sim.NewProgramStepper): direct-style strategies ride the
+// engine's fast path without being rewritten as state machines. The
+// paper's two algorithms register their BuildSteppers this way.
+func SteppersFromPrograms(build func(o BuildOpts) (a, b sim.Program, err error)) func(o BuildOpts) (a, b sim.Stepper, err error) {
+	return func(o BuildOpts) (sim.Stepper, sim.Stepper, error) {
+		a, b, err := build(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sim.NewProgramStepper(a), sim.NewProgramStepper(b), nil
+	}
 }
 
 var (

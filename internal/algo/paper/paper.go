@@ -5,6 +5,11 @@
 // package is what puts "whiteboard" and "noboard" on the menu:
 //
 //	import _ "fnr/internal/algo/paper"
+//
+// Both algorithms stay in direct style (they are intricate, multi-phase
+// programs); their stepper builders come from algo.SteppersFromPrograms,
+// which hosts the same programs on coroutines so batch trials still
+// skip the goroutine+channel handoffs of the classic Program path.
 package paper
 
 import (
@@ -14,26 +19,30 @@ import (
 )
 
 func init() {
+	buildWhiteboard := func(o algo.BuildOpts) (a, b sim.Program, err error) {
+		// Delta ≤ 0 falls back to the §4.1 doubling estimation.
+		know := core.Knowledge{Delta: o.Delta, Doubling: o.Delta <= 0}
+		a, b = core.WhiteboardAgents(o.Params, know, o.WhiteboardStats)
+		return a, b, nil
+	}
 	algo.Register(algo.Spec{
-		Name:    "whiteboard",
-		Order:   0,
-		Summary: "Theorem 1: Construct + Main-Rendezvous, O(n/δ·log²n + √(n∆/δ)·log n) w.h.p.; needs whiteboards and neighbor IDs",
-		Caps:    algo.Caps{NeighborIDs: true, Whiteboards: true},
-		Build: func(o algo.BuildOpts) (a, b sim.Program, err error) {
-			// Delta ≤ 0 falls back to the §4.1 doubling estimation.
-			know := core.Knowledge{Delta: o.Delta, Doubling: o.Delta <= 0}
-			a, b = core.WhiteboardAgents(o.Params, know, o.WhiteboardStats)
-			return a, b, nil
-		},
+		Name:          "whiteboard",
+		Order:         0,
+		Summary:       "Theorem 1: Construct + Main-Rendezvous, O(n/δ·log²n + √(n∆/δ)·log n) w.h.p.; needs whiteboards and neighbor IDs",
+		Caps:          algo.Caps{NeighborIDs: true, Whiteboards: true},
+		Build:         buildWhiteboard,
+		BuildSteppers: algo.SteppersFromPrograms(buildWhiteboard),
 	})
+	buildNoboard := func(o algo.BuildOpts) (a, b sim.Program, err error) {
+		a, b = core.NoboardAgents(o.Params, o.Delta, o.NoboardStats)
+		return a, b, nil
+	}
 	algo.Register(algo.Spec{
-		Name:    "noboard",
-		Order:   1,
-		Summary: "Theorem 2: whiteboard-free rendezvous, O(n/√δ·log²n) w.h.p.; needs neighbor IDs, tight naming and known δ",
-		Caps:    algo.Caps{NeighborIDs: true, NeedsDelta: true},
-		Build: func(o algo.BuildOpts) (a, b sim.Program, err error) {
-			a, b = core.NoboardAgents(o.Params, o.Delta, o.NoboardStats)
-			return a, b, nil
-		},
+		Name:          "noboard",
+		Order:         1,
+		Summary:       "Theorem 2: whiteboard-free rendezvous, O(n/√δ·log²n) w.h.p.; needs neighbor IDs, tight naming and known δ",
+		Caps:          algo.Caps{NeighborIDs: true, NeedsDelta: true},
+		Build:         buildNoboard,
+		BuildSteppers: algo.SteppersFromPrograms(buildNoboard),
 	})
 }

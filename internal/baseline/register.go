@@ -8,7 +8,9 @@ import (
 // The baselines self-register with the strategy registry; importing
 // this package (blank imports included) is enough to make them
 // resolvable by name. Orders 2–6 preserve the historical
-// fnr.Algorithm constant values.
+// fnr.Algorithm constant values. Every baseline registers both forms:
+// Build (direct-style programs, the goroutine path) and BuildSteppers
+// (the native state machines of steppers.go, the engine's fast path).
 func init() {
 	pair := func(f func() (sim.Program, sim.Program)) func(algo.BuildOpts) (sim.Program, sim.Program, error) {
 		return func(algo.BuildOpts) (sim.Program, sim.Program, error) {
@@ -16,37 +18,47 @@ func init() {
 			return a, b, nil
 		}
 	}
+	steppers := func(fa, fb func() sim.Stepper) func(algo.BuildOpts) (sim.Stepper, sim.Stepper, error) {
+		return func(algo.BuildOpts) (sim.Stepper, sim.Stepper, error) {
+			return fa(), fb(), nil
+		}
+	}
 	algo.Register(algo.Spec{
-		Name:    "sweep",
-		Order:   2,
-		Summary: "trivial O(∆) baseline: a waits, b sweeps its neighborhood in port order",
-		Caps:    algo.Caps{NeighborIDs: true},
-		Build:   pair(StayAndSweep),
+		Name:          "sweep",
+		Order:         2,
+		Summary:       "trivial O(∆) baseline: a waits, b sweeps its neighborhood in port order",
+		Caps:          algo.Caps{NeighborIDs: true},
+		Build:         pair(StayAndSweep),
+		BuildSteppers: steppers(StayerStepper, SweepStepper),
 	})
 	algo.Register(algo.Spec{
-		Name:    "dfs",
-		Order:   3,
-		Summary: "full-exploration baseline: a waits, b walks a DFS traversal of the graph",
-		Caps:    algo.Caps{NeighborIDs: true},
-		Build:   pair(StayAndDFS),
+		Name:          "dfs",
+		Order:         3,
+		Summary:       "full-exploration baseline: a waits, b walks a DFS traversal of the graph",
+		Caps:          algo.Caps{NeighborIDs: true},
+		Build:         pair(StayAndDFS),
+		BuildSteppers: steppers(StayerStepper, DFSStepper),
 	})
 	algo.Register(algo.Spec{
-		Name:    "staywalk",
-		Order:   4,
-		Summary: "a waits, b random-walks by ports (KT0-capable)",
-		Build:   pair(StayAndWalk),
+		Name:          "staywalk",
+		Order:         4,
+		Summary:       "a waits, b random-walks by ports (KT0-capable)",
+		Build:         pair(StayAndWalk),
+		BuildSteppers: steppers(StayerStepper, RandomWalkerStepper),
 	})
 	algo.Register(algo.Spec{
-		Name:    "walkpair",
-		Order:   5,
-		Summary: "two independent random walkers (KT0-capable)",
-		Build:   pair(RandomWalkPair),
+		Name:          "walkpair",
+		Order:         5,
+		Summary:       "two independent random walkers (KT0-capable)",
+		Build:         pair(RandomWalkPair),
+		BuildSteppers: steppers(RandomWalkerStepper, RandomWalkerStepper),
 	})
 	algo.Register(algo.Spec{
-		Name:    "birthday",
-		Order:   6,
-		Summary: "complete-graph whiteboard birthday strategy (Anderson–Weber stand-in)",
-		Caps:    algo.Caps{NeighborIDs: true, Whiteboards: true},
-		Build:   pair(BirthdayAgents),
+		Name:          "birthday",
+		Order:         6,
+		Summary:       "complete-graph whiteboard birthday strategy (Anderson–Weber stand-in)",
+		Caps:          algo.Caps{NeighborIDs: true, Whiteboards: true},
+		Build:         pair(BirthdayAgents),
+		BuildSteppers: steppers(BirthdayStepperA, BirthdayStepperB),
 	})
 }

@@ -1,0 +1,272 @@
+package baseline
+
+// This file holds the stepper (state-machine) forms of the baseline
+// strategies, used by the engine's goroutine-free fast path. Each
+// stepper is behaviorally identical to its Program counterpart in
+// baseline.go — same action sequence, same RNG draw order — so trial
+// results are byte-identical on either path (the differential suite
+// in internal/engine enforces this). When changing a strategy, change
+// both forms.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"fnr/internal/sim"
+)
+
+// errNotAdjacent mirrors the Program forms' panic on an impossible
+// MoveToID: the run errors out rather than silently diverging.
+func errNotAdjacent(v *sim.View, id int64) error {
+	return fmt.Errorf("baseline stepper at vertex %d has no neighbor with ID %d", v.HereID, id)
+}
+
+// StayerStepper returns the stepper form of Stayer: it waits at its
+// start vertex forever in fast-forwardable bulk stays.
+func StayerStepper() sim.Stepper { return stayerStepper{} }
+
+type stayerStepper struct{}
+
+func (stayerStepper) Init(*sim.StepContext) {}
+
+func (stayerStepper) Next(*sim.View) sim.Action { return sim.StayFor(1 << 30) }
+
+// SweepStepper returns the stepper form of StayAndSweep's agent b: it
+// visits each neighbor of its start vertex in port order, returning
+// home between visits, then halts.
+func SweepStepper() sim.Stepper { return &sweepStepper{} }
+
+type sweepStepper struct {
+	started   bool
+	home      int64
+	nbs       []int64
+	i         int
+	returning bool
+}
+
+func (s *sweepStepper) Init(*sim.StepContext) {}
+
+func (s *sweepStepper) Next(v *sim.View) sim.Action {
+	if !s.started {
+		s.started = true
+		s.home = v.HereID
+		s.nbs = append(s.nbs, v.NeighborIDs...)
+	}
+	if s.i >= len(s.nbs) {
+		// Distance was not 1 after all; nothing left to try.
+		return sim.Halt()
+	}
+	if !s.returning {
+		p, ok := v.PortOfID(s.nbs[s.i])
+		if !ok {
+			return sim.Abort(errNotAdjacent(v, s.nbs[s.i]))
+		}
+		s.returning = true
+		return sim.Move(p)
+	}
+	p, ok := v.PortOfID(s.home)
+	if !ok {
+		return sim.Abort(errNotAdjacent(v, s.home))
+	}
+	s.returning = false
+	s.i++
+	return sim.Move(p)
+}
+
+// RandomWalkerStepper returns the stepper form of RandomWalker: an
+// endless uniform random walk by local ports (KT0-capable).
+func RandomWalkerStepper() sim.Stepper { return &randomWalkerStepper{} }
+
+type randomWalkerStepper struct {
+	rng *rand.Rand
+}
+
+func (s *randomWalkerStepper) Init(ctx *sim.StepContext) { s.rng = ctx.Rand }
+
+func (s *randomWalkerStepper) Next(v *sim.View) sim.Action {
+	if v.Degree == 0 {
+		return sim.Stay()
+	}
+	return sim.Move(s.rng.IntN(v.Degree))
+}
+
+// DFSStepper returns the stepper form of DFSExplorer: a depth-first
+// traversal of the graph by neighbor IDs, halting when every reachable
+// vertex has been visited.
+func DFSStepper() sim.Stepper { return &dfsStepper{} }
+
+type dfsStepper struct {
+	visited map[int64]bool
+	path    []int64 // vertex IDs from the root to the parent of the current vertex
+}
+
+func (s *dfsStepper) Init(*sim.StepContext) {}
+
+func (s *dfsStepper) Next(v *sim.View) sim.Action {
+	if s.visited == nil {
+		s.visited = map[int64]bool{v.HereID: true}
+	}
+	next := int64(-1)
+	for _, u := range v.NeighborIDs {
+		if !s.visited[u] {
+			next = u
+			break
+		}
+	}
+	if next >= 0 {
+		s.visited[next] = true
+		s.path = append(s.path, v.HereID)
+		p, ok := v.PortOfID(next)
+		if !ok {
+			return sim.Abort(errNotAdjacent(v, next))
+		}
+		return sim.Move(p)
+	}
+	if len(s.path) == 0 {
+		return sim.Halt() // traversal complete
+	}
+	parent := s.path[len(s.path)-1]
+	s.path = s.path[:len(s.path)-1]
+	p, ok := v.PortOfID(parent)
+	if !ok {
+		return sim.Abort(errNotAdjacent(v, parent))
+	}
+	return sim.Move(p)
+}
+
+// BirthdayStepperA returns the stepper form of BirthdayAgents' agent
+// a: repeatedly probe a uniform closed neighbor for a mark and chase
+// it when found. The RNG draw sequence matches the Program form
+// exactly, including the zero-round retries when the draw is the home
+// vertex.
+func BirthdayStepperA() sim.Stepper { return &birthdayStepperA{} }
+
+type birthdayStepperA struct {
+	rng    *rand.Rand
+	boards bool
+	home   int64
+	np     []int64
+	state  birthdayAState
+	mark   int64 // whiteboard value read at the probed vertex
+}
+
+type birthdayAState uint8
+
+const (
+	birthdayAChoose birthdayAState = iota // at home, pick the next probe
+	birthdayAProbe                        // arrived at the probed neighbor
+	birthdayACheck                        // back home, act on the mark read remotely
+	birthdayAWait                         // co-located with b's start; wait forever
+)
+
+func (s *birthdayStepperA) Init(ctx *sim.StepContext) {
+	s.rng = ctx.Rand
+	s.boards = ctx.Whiteboards
+}
+
+func (s *birthdayStepperA) Next(v *sim.View) sim.Action {
+	if s.np == nil {
+		if !s.boards {
+			return sim.Abort(errors.New("birthday strategy in a whiteboard-free run"))
+		}
+		s.home = v.HereID
+		s.np = make([]int64, 0, v.Degree+1)
+		s.np = append(s.np, s.home)
+		s.np = append(s.np, v.NeighborIDs...)
+	}
+	switch s.state {
+	case birthdayAProbe:
+		// Read the mark here, then head home; the decision happens on
+		// arrival (birthdayACheck), as in the Program form.
+		s.mark = v.Whiteboard
+		p, ok := v.PortOfID(s.home)
+		if !ok {
+			return sim.Abort(errNotAdjacent(v, s.home))
+		}
+		s.state = birthdayACheck
+		return sim.Move(p)
+	case birthdayAWait:
+		return sim.Stay()
+	case birthdayACheck:
+		if s.mark != sim.NoMark && s.mark != s.home {
+			if p, ok := v.PortOfID(s.mark); ok {
+				s.state = birthdayAWait
+				return sim.Move(p)
+			}
+			// Mark not adjacent; not ours to chase.
+		}
+		s.state = birthdayAChoose
+	}
+	// birthdayAChoose: draw closed neighbors until one costs a round,
+	// mirroring the Program form's zero-round retry loop (home draws
+	// that read an unchaseable mark consume no rounds).
+	for {
+		pick := s.np[s.rng.IntN(len(s.np))]
+		if pick != s.home {
+			p, ok := v.PortOfID(pick)
+			if !ok {
+				return sim.Abort(errNotAdjacent(v, pick))
+			}
+			s.state = birthdayAProbe
+			return sim.Move(p)
+		}
+		mark := v.Whiteboard
+		if mark == sim.NoMark || mark == s.home {
+			continue
+		}
+		if p, ok := v.PortOfID(mark); ok {
+			s.state = birthdayAWait
+			return sim.Move(p)
+		}
+	}
+}
+
+// BirthdayStepperB returns the stepper form of BirthdayAgents' agent
+// b: repeatedly mark a uniform closed neighbor with its start ID.
+func BirthdayStepperB() sim.Stepper { return &birthdayStepperB{} }
+
+type birthdayStepperB struct {
+	rng    *rand.Rand
+	boards bool
+	home   int64
+	np     []int64
+	away   bool // at the marked neighbor, heading home next
+}
+
+func (s *birthdayStepperB) Init(ctx *sim.StepContext) {
+	s.rng = ctx.Rand
+	s.boards = ctx.Whiteboards
+}
+
+func (s *birthdayStepperB) Next(v *sim.View) sim.Action {
+	if s.np == nil {
+		if !s.boards {
+			return sim.Abort(errors.New("birthday strategy in a whiteboard-free run"))
+		}
+		s.home = v.HereID
+		s.np = make([]int64, 0, v.Degree+1)
+		s.np = append(s.np, s.home)
+		s.np = append(s.np, v.NeighborIDs...)
+	}
+	if s.away {
+		// Mark commits together with the move home, exactly like the
+		// Program form's staged WriteWhiteboard before MoveToID(home).
+		p, ok := v.PortOfID(s.home)
+		if !ok {
+			return sim.Abort(errNotAdjacent(v, s.home))
+		}
+		s.away = false
+		return sim.Move(p).WithWrite(s.home)
+	}
+	pick := s.np[s.rng.IntN(len(s.np))]
+	if pick == s.home {
+		return sim.Stay().WithWrite(s.home)
+	}
+	p, ok := v.PortOfID(pick)
+	if !ok {
+		return sim.Abort(errNotAdjacent(v, pick))
+	}
+	s.away = true
+	return sim.Move(p)
+}

@@ -52,14 +52,17 @@ func (w *walker) sampleRun(gamma []int64, alpha float64, st *WhiteboardStats) ([
 	if m < 1 {
 		m = 1
 	}
-	counts := make(map[int64]int, len(w.npHomeL))
+	// Counters live at each vertex's position in npHomeL (counts only
+	// ever exist for N+(home)), so the inner loop is one index lookup
+	// and an array bump per observed neighbor.
+	counts := make([]int32, len(w.npHomeL))
 	rng := w.e.Rand()
 	for i := 0; i < m; i++ {
 		v := gamma[rng.IntN(len(gamma))]
 		if v == w.home {
 			// Visiting home is free; N+(home) ∩ N+(home) is everything.
-			for _, u := range w.npHomeL {
-				counts[u]++
+			for j := range counts {
+				counts[j]++
 			}
 			continue
 		}
@@ -67,12 +70,12 @@ func (w *walker) sampleRun(gamma []int64, alpha float64, st *WhiteboardStats) ([
 			return nil, err
 		}
 		self, nbs := w.observeHere()
-		if _, ok := w.npHome[self]; ok {
-			counts[self]++
+		if j := w.npIdx.get(self); j >= 0 {
+			counts[j]++
 		}
 		for _, u := range nbs {
-			if _, ok := w.npHome[u]; ok {
-				counts[u]++
+			if j := w.npIdx.get(u); j >= 0 {
+				counts[j]++
 			}
 		}
 		if err := w.goHome(); err != nil {
@@ -82,10 +85,10 @@ func (w *walker) sampleRun(gamma []int64, alpha float64, st *WhiteboardStats) ([
 			st.SampleVisits++
 		}
 	}
-	threshold := int(math.Ceil(w.p.HeavyThresholdMult * w.lnN))
+	threshold := int32(math.Ceil(w.p.HeavyThresholdMult * w.lnN))
 	var heavy []int64
-	for _, u := range w.npHomeL {
-		if counts[u] >= threshold {
+	for j, u := range w.npHomeL {
+		if counts[j] >= threshold {
 			heavy = append(heavy, u)
 		}
 	}
@@ -113,20 +116,21 @@ func constructDense(e *sim.Env, p Params, deltaEst float64, doubling bool, st *W
 	if err := w.checkDegree(); err != nil {
 		return nil, err // home itself violates the estimate
 	}
-	inH := make(map[int64]struct{}, len(w.npHomeL))
-	inS := map[int64]struct{}{w.home: {}}
+	// inH is indexed by npHomeL position: heavy classification only
+	// ever applies to members of N+(home).
+	inH := make([]bool, len(w.npHomeL))
 	gamma := w.learn(w.home, w.homeNb) // NS ← N+(home); Γ₁ = N+(home)
 	rng := e.Rand()
 
 	markHeavy := func(ids []int64) {
 		for _, u := range ids {
-			inH[u] = struct{}{}
+			inH[w.npIdx.get(u)] = true
 		}
 	}
 	candidates := func() []int64 {
 		var r []int64
-		for _, u := range w.npHomeL {
-			if _, heavy := inH[u]; !heavy {
+		for j, u := range w.npHomeL {
+			if !inH[j] {
 				r = append(r, u)
 			}
 		}
@@ -213,15 +217,16 @@ func constructDense(e *sim.Env, p Params, deltaEst float64, doubling bool, st *W
 					chosen, found = u, true
 					break
 				}
-				inH[u] = struct{}{} // exactly verified heavy
+				inH[w.npIdx.get(u)] = true // exactly verified heavy
 			}
 			if !found {
 				break // R = ∅: N+(home) fully classified heavy
 			}
 		}
 		// S ← S ∪ {x_i}; NS ← NS ∪ N+(x_i). The exact check just
-		// visited x_i, so its neighborhood is cached.
-		inS[chosen] = struct{}{}
+		// visited x_i, so its neighborhood is cached. (S itself needs
+		// no explicit set: NS and the via table carry everything the
+		// algorithm reads.)
 		nbs, cached := w.cachedNeighborhood(chosen)
 		if !cached {
 			if err := w.goTo(chosen); err != nil {

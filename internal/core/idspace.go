@@ -1,0 +1,130 @@
+package core
+
+// ID-keyed lookup structures for the walker's hot loops. Vertex IDs
+// are guaranteed to lie in [0, n') (see package graph), so when the
+// ID space is small these compile down to dense array indexing —
+// profiling showed the map-backed originals spending roughly half of
+// agent a's CPU in map accesses. Above denseIDLimit the same types
+// fall back to maps, trading speed for memory. Both representations
+// answer queries identically and are never iterated, so the choice
+// cannot affect simulation results.
+
+// denseIDLimit bounds the ID space for which dense arrays are used
+// (8 MiB for the largest array at the limit).
+const denseIDLimit = 1 << 20
+
+// idIndex maps vertex IDs to small dense indexes (-1 = absent).
+type idIndex struct {
+	dense []int32
+	m     map[int64]int32
+}
+
+func newIDIndex(nPrime int64, sizeHint int) *idIndex {
+	if nPrime > 0 && nPrime <= denseIDLimit {
+		d := make([]int32, nPrime)
+		for i := range d {
+			d[i] = -1
+		}
+		return &idIndex{dense: d}
+	}
+	return &idIndex{m: make(map[int64]int32, sizeHint)}
+}
+
+func (x *idIndex) set(id int64, idx int32) {
+	if x.dense != nil {
+		x.dense[id] = idx
+		return
+	}
+	x.m[id] = idx
+}
+
+// get returns the index of id, or -1 if absent.
+func (x *idIndex) get(id int64) int32 {
+	if x.dense != nil {
+		if id < 0 || id >= int64(len(x.dense)) {
+			return -1
+		}
+		return x.dense[id]
+	}
+	if idx, ok := x.m[id]; ok {
+		return idx
+	}
+	return -1
+}
+
+// idSet is a set of vertex IDs.
+type idSet struct {
+	dense []bool
+	m     map[int64]struct{}
+}
+
+func newIDSet(nPrime int64, sizeHint int) *idSet {
+	if nPrime > 0 && nPrime <= denseIDLimit {
+		return &idSet{dense: make([]bool, nPrime)}
+	}
+	return &idSet{m: make(map[int64]struct{}, sizeHint)}
+}
+
+func (s *idSet) add(id int64) {
+	if s.dense != nil {
+		s.dense[id] = true
+		return
+	}
+	s.m[id] = struct{}{}
+}
+
+func (s *idSet) has(id int64) bool {
+	if s.dense != nil {
+		return id >= 0 && id < int64(len(s.dense)) && s.dense[id]
+	}
+	_, ok := s.m[id]
+	return ok
+}
+
+// idToID maps vertex IDs to vertex IDs (the walker's via table). It
+// tracks its entry count so memory accounting stays meaningful under
+// the dense representation.
+type idToID struct {
+	dense   []int64 // -1 = absent (IDs are non-negative)
+	m       map[int64]int64
+	entries int
+}
+
+func newIDToID(nPrime int64, sizeHint int) *idToID {
+	if nPrime > 0 && nPrime <= denseIDLimit {
+		d := make([]int64, nPrime)
+		for i := range d {
+			d[i] = -1
+		}
+		return &idToID{dense: d}
+	}
+	return &idToID{m: make(map[int64]int64, sizeHint)}
+}
+
+func (t *idToID) get(id int64) (int64, bool) {
+	if t.dense != nil {
+		if id < 0 || id >= int64(len(t.dense)) || t.dense[id] < 0 {
+			return 0, false
+		}
+		return t.dense[id], true
+	}
+	v, ok := t.m[id]
+	return v, ok
+}
+
+// setIfMissing records id -> via unless id already has an entry.
+func (t *idToID) setIfMissing(id, via int64) {
+	if t.dense != nil {
+		if t.dense[id] < 0 {
+			t.dense[id] = via
+			t.entries++
+		}
+		return
+	}
+	if _, ok := t.m[id]; !ok {
+		t.m[id] = via
+		t.entries++
+	}
+}
+
+func (t *idToID) len() int { return t.entries }

@@ -52,11 +52,9 @@ func MainPhaseAgentA(t []int64, via map[int64]int64) sim.Program {
 			if !ok {
 				panic(fmt.Sprintf("core: oracle set member %d has no via entry", id))
 			}
-			if _, known := w.via[id]; !known {
-				w.via[id] = v
-			}
-			if _, seen := w.ns[id]; !seen {
-				w.ns[id] = struct{}{}
+			w.via.setIfMissing(id, v)
+			if !w.ns.has(id) {
+				w.ns.add(id)
 				w.nsL = append(w.nsL, id)
 			}
 		}

@@ -21,6 +21,11 @@ func (e *restartError) Error() string {
 // start vertex, with a via-vertex per known vertex so that any learned
 // vertex is reachable from home in at most two moves (the paper's
 // "shortest paths to all vertices in T^a" knowledge).
+//
+// The ID-keyed state lives in the dense-or-map structures of
+// idspace.go: Sample's inner loop touches them once per observed
+// neighbor, which made the original map-backed forms the dominant
+// cost of the whole Theorem-1 simulation.
 type walker struct {
 	e        *sim.Env
 	p        Params
@@ -29,13 +34,13 @@ type walker struct {
 	doubling bool
 
 	home    int64
-	homeNb  []int64            // N(home) IDs in port order
-	npHome  map[int64]struct{} // N+(home) as a set
-	npHomeL []int64            // N+(home) as a list (home first)
-	via     map[int64]int64    // known vertex -> neighbor of home on a shortest path
-	ns      map[int64]struct{} // N+(S), the paper's NS^a
-	nsL     []int64            // NS as a list, in discovery order
-	visits  int64              // number of vertex visits (diagnostics)
+	homeNb  []int64  // N(home) IDs in port order
+	npIdx   *idIndex // ID -> position in npHomeL (-1 if not in N+(home))
+	npHomeL []int64  // N+(home) as a list (home first)
+	via     *idToID  // known vertex -> neighbor of home on a shortest path
+	ns      *idSet   // N+(S), the paper's NS^a
+	nsL     []int64  // NS as a list, in discovery order
+	visits  int64    // number of vertex visits (diagnostics)
 
 	// lastSeen holds the full neighbor list of the most recently
 	// visited candidate only. One entry suffices — Construct consumes
@@ -49,29 +54,30 @@ type walker struct {
 // newWalker snapshots the start vertex's neighborhood. Must be called
 // with the agent at its start vertex.
 func newWalker(e *sim.Env, p Params, deltaEst float64, doubling bool) *walker {
+	nPrime := e.NPrime()
+	homeNb := slices.Clone(e.NeighborIDs())
 	w := &walker{
 		e:          e,
 		p:          p,
-		lnN:        lnOf(e.NPrime()),
+		lnN:        lnOf(nPrime),
 		deltaEst:   deltaEst,
 		doubling:   doubling,
 		home:       e.HereID(),
-		homeNb:     slices.Clone(e.NeighborIDs()),
-		via:        make(map[int64]int64),
-		ns:         make(map[int64]struct{}),
+		homeNb:     homeNb,
+		via:        newIDToID(nPrime, 2*len(homeNb)),
+		ns:         newIDSet(nPrime, 2*len(homeNb)),
 		lastSeenID: -1,
 	}
-	w.npHome = make(map[int64]struct{}, len(w.homeNb)+1)
+	w.npIdx = newIDIndex(nPrime, len(w.homeNb)+1)
 	w.npHomeL = make([]int64, 0, len(w.homeNb)+1)
-	w.npHome[w.home] = struct{}{}
 	w.npHomeL = append(w.npHomeL, w.home)
-	for _, id := range w.homeNb {
-		w.npHome[id] = struct{}{}
-		w.npHomeL = append(w.npHomeL, id)
+	w.npHomeL = append(w.npHomeL, w.homeNb...)
+	for i, id := range w.npHomeL {
+		w.npIdx.set(id, int32(i))
 	}
-	w.via[w.home] = w.home
+	w.via.setIfMissing(w.home, w.home)
 	for _, id := range w.homeNb {
-		w.via[id] = id
+		w.via.setIfMissing(id, id)
 	}
 	return w
 }
@@ -98,7 +104,7 @@ func (w *walker) goTo(target int64) error {
 	if target == w.home {
 		return nil
 	}
-	via, ok := w.via[target]
+	via, ok := w.via.get(target)
 	if !ok {
 		return fmt.Errorf("core: goTo(%d): vertex unknown to walker", target)
 	}
@@ -123,8 +129,8 @@ func (w *walker) goHome() error {
 	if cur == w.home {
 		return nil
 	}
-	if _, direct := w.npHome[cur]; !direct {
-		via, ok := w.via[cur]
+	if w.npIdx.get(cur) < 0 { // not adjacent to home: go via
+		via, ok := w.via.get(cur)
 		if !ok {
 			return fmt.Errorf("core: goHome from unknown vertex %d", cur)
 		}
@@ -149,15 +155,13 @@ func (w *walker) observeHere() (int64, []int64) {
 func (w *walker) learn(x int64, nbs []int64) []int64 {
 	var added []int64
 	add := func(id int64) {
-		if _, known := w.ns[id]; known {
+		if w.ns.has(id) {
 			return
 		}
-		w.ns[id] = struct{}{}
+		w.ns.add(id)
 		w.nsL = append(w.nsL, id)
 		added = append(added, id)
-		if _, exists := w.via[id]; !exists {
-			w.via[id] = x
-		}
+		w.via.setIfMissing(id, x)
 	}
 	add(x)
 	for _, id := range nbs {
@@ -201,18 +205,21 @@ func (w *walker) cachedNeighborhood(u int64) ([]int64, bool) {
 }
 
 // memoryWords estimates the walker's state size in machine words:
-// O(|NS| + ∆) = O(n), matching the paper's O(n log n)-bit claim.
+// O(|NS| + ∆) = O(n), matching the paper's O(n log n)-bit claim. The
+// dense idspace representations trade extra transient memory for
+// speed; the estimate deliberately counts logical entries, i.e. the
+// algorithm's information content.
 func (w *walker) memoryWords() int {
-	return len(w.homeNb) + len(w.npHomeL) + len(w.via) + len(w.nsL) + len(w.lastSeenNb)
+	return len(w.homeNb) + len(w.npHomeL) + w.via.len() + len(w.nsL) + len(w.lastSeenNb)
 }
 
 func (w *walker) countAgainstNS(self int64, nbs []int64) int {
 	cnt := 0
-	if _, ok := w.ns[self]; ok {
+	if w.ns.has(self) {
 		cnt++
 	}
 	for _, id := range nbs {
-		if _, ok := w.ns[id]; ok {
+		if w.ns.has(id) {
 			cnt++
 		}
 	}

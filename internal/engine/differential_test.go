@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"testing"
+
+	"fnr/internal/algo"
+	"fnr/internal/graph"
+
+	_ "fnr/internal/algo/paper"
+	_ "fnr/internal/baseline"
+)
+
+type diffInstance struct {
+	name string
+	g    *graph.Graph
+}
+
+// The differential suite: for every registered algorithm, across a
+// seed × instance matrix, the goroutine-free stepper path and the
+// goroutine-backed Program path must produce identical per-trial
+// Outcomes and byte-identical Aggregate JSON. This is the contract
+// that lets the engine switch paths freely (and lets benchengine
+// compare their timings honestly). CI runs it under -race, which also
+// exercises the coroutine adapter against the race detector.
+func TestStepperAndProgramPathsAreIdentical(t *testing.T) {
+	planted, err := graph.PlantedMinDegree(96, 24, rand.New(rand.NewPCG(5, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete, err := graph.Complete(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := []diffInstance{{"planted96", planted}, {"k16", complete}}
+
+	for _, spec := range specsUnderTest(t) {
+		for _, inst := range instances {
+			for _, seed := range []uint64{1, 99} {
+				sa := graph.Vertex(0)
+				sb := inst.g.Adj(sa)[0]
+				base := Batch{
+					Graph: inst.g, StartA: sa, StartB: sb,
+					Algorithm: spec, Delta: inst.g.MinDegree(),
+					Trials: 6, Seed: seed, MaxRounds: 1 << 20,
+				}
+
+				fast := base
+				slow := base
+				slow.ForceProgramPath = true
+
+				fastOut, err := RunOutcomes(fast)
+				if err != nil {
+					t.Fatalf("%s/%s/seed%d stepper path: %v", spec, inst.name, seed, err)
+				}
+				slowOut, err := RunOutcomes(slow)
+				if err != nil {
+					t.Fatalf("%s/%s/seed%d program path: %v", spec, inst.name, seed, err)
+				}
+				for i := range fastOut {
+					if fastOut[i] != slowOut[i] {
+						t.Errorf("%s/%s/seed%d trial %d: stepper %+v vs program %+v",
+							spec, inst.name, seed, i, fastOut[i], slowOut[i])
+					}
+				}
+
+				fastAgg, err := json.Marshal(AggregateOutcomes(fast, fastOut))
+				if err != nil {
+					t.Fatal(err)
+				}
+				slowAgg, err := json.Marshal(AggregateOutcomes(slow, slowOut))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(fastAgg) != string(slowAgg) {
+					t.Errorf("%s/%s/seed%d: aggregate JSON differs:\nstepper: %s\nprogram: %s",
+						spec, inst.name, seed, fastAgg, slowAgg)
+				}
+			}
+		}
+	}
+}
+
+// specsUnderTest returns every registered algorithm name, failing the
+// test if the registry is unexpectedly empty (a differential suite
+// that silently tests nothing is worse than a failing one).
+func specsUnderTest(t *testing.T) []string {
+	t.Helper()
+	names := algo.Names()
+	if len(names) < 7 {
+		t.Fatalf("registry has %d specs, expected at least the 7 built-ins: %v", len(names), names)
+	}
+	return names
+}
+
+// The stepper fast path must also be deterministic across worker
+// counts, exactly like the Program path.
+func TestStepperPathDeterministicAcrossWorkers(t *testing.T) {
+	g, sa, sb := testGraph(t)
+	for _, name := range []string{"sweep", "birthday", "whiteboard"} {
+		base := Batch{
+			Graph: g, StartA: sa, StartB: sb,
+			Algorithm: name, Delta: g.MinDegree(),
+			Trials: 30, Seed: 77, MaxRounds: 1 << 22,
+		}
+		var blobs [][]byte
+		for _, workers := range []int{1, 8} {
+			b := base
+			b.Workers = workers
+			agg, err := Run(b)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			blob, err := json.Marshal(agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, blob)
+		}
+		if string(blobs[0]) != string(blobs[1]) {
+			t.Errorf("%s: stepper-path aggregates differ across worker counts:\n1: %s\n8: %s", name, blobs[0], blobs[1])
+		}
+	}
+}

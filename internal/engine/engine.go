@@ -51,6 +51,14 @@ type Batch struct {
 	// Workers bounds trial parallelism (≤ 0 = GOMAXPROCS). It never
 	// affects results, only wall-clock time.
 	Workers int
+	// ForceProgramPath runs the goroutine-backed Program path even
+	// when the strategy provides steppers — a benchmarking and
+	// diagnostics knob (benchengine times both paths with it; the
+	// differential suite uses it to prove the paths byte-identical).
+	// The zero value selects the goroutine-free stepper fast path
+	// automatically whenever the spec has a stepper builder. Like
+	// Workers, it must never affect results, only wall-clock time.
+	ForceProgramPath bool
 }
 
 // Outcome is one trial reduced to what aggregation needs.
@@ -140,6 +148,18 @@ func TrialSeed(batchSeed uint64, trial int) uint64 {
 // (≤ 0 = GOMAXPROCS) and returns the results indexed by trial. f must
 // be safe for concurrent calls with distinct indices.
 func Trials[T any](workers, n int, f func(trial int) T) []T {
+	return TrialsScratch(workers, n,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) T { return f(i) })
+}
+
+// TrialsScratch is Trials with per-worker scratch: every worker
+// goroutine calls newScratch once and passes the value to each of its
+// f invocations, so reusable trial state (sim.TrialContext on the
+// stepper fast path) is allocated per worker, not per trial, without
+// any locking. f must be safe for concurrent calls with distinct
+// (scratch, trial) pairs; scratch values must never affect results.
+func TrialsScratch[S, T any](workers, n int, newScratch func() S, f func(scratch S, trial int) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -151,8 +171,9 @@ func Trials[T any](workers, n int, f func(trial int) T) []T {
 	}
 	out := make([]T, n)
 	if workers == 1 {
+		scratch := newScratch()
 		for i := 0; i < n; i++ {
-			out[i] = f(i)
+			out[i] = f(scratch, i)
 		}
 		return out
 	}
@@ -162,12 +183,13 @@ func Trials[T any](workers, n int, f func(trial int) T) []T {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := newScratch()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = f(i)
+				out[i] = f(scratch, i)
 			}
 		}()
 	}
@@ -178,14 +200,29 @@ func Trials[T any](workers, n int, f func(trial int) T) []T {
 // RunOutcomes executes the batch and returns the per-trial outcomes
 // in trial order — the lower-level entry point for callers (the
 // experiment harness) that need more than the standard aggregate.
+// When the strategy provides steppers (and ForceProgramPath is off)
+// the trials run on the goroutine-free stepper path, each worker
+// reusing one sim.TrialContext across all its trials; otherwise they
+// run on the classic goroutine-backed Program path. The two paths
+// produce byte-identical outcomes.
 func RunOutcomes(b Batch) ([]Outcome, error) {
 	spec, opts, err := b.prepare()
 	if err != nil {
 		return nil, err
 	}
+	if b.useSteppers(spec) {
+		return TrialsScratch(b.Workers, b.Trials, sim.NewTrialContext, func(tc *sim.TrialContext, i int) Outcome {
+			return runStepperTrial(b, spec, opts, tc, i)
+		}), nil
+	}
 	return Trials(b.Workers, b.Trials, func(i int) Outcome {
 		return runTrial(b, spec, opts, i)
 	}), nil
+}
+
+// useSteppers reports whether the batch takes the stepper fast path.
+func (b Batch) useSteppers(spec algo.Spec) bool {
+	return spec.BuildSteppers != nil && !b.ForceProgramPath
 }
 
 // Run executes the batch and streams the outcomes into an Aggregate.
@@ -238,6 +275,12 @@ func (b Batch) prepare() (algo.Spec, algo.BuildOpts, error) {
 	if b.StartA < 0 || b.StartA >= n || b.StartB < 0 || b.StartB >= n {
 		return spec, opts, fmt.Errorf("engine: start vertices (%d, %d) out of range [0,%d)", b.StartA, b.StartB, n)
 	}
+	if b.StartA == b.StartB {
+		// The paper's problem is defined for distinct start vertices;
+		// equal starts would "meet" at round 0 in every trial and
+		// silently skew the aggregates toward instant success.
+		return spec, opts, fmt.Errorf("engine: StartA and StartB are both %d; the rendezvous problem requires distinct start vertices", b.StartA)
+	}
 	spec, err := algo.Lookup(b.Algorithm)
 	if err != nil {
 		return spec, opts, fmt.Errorf("engine: %w", err)
@@ -247,19 +290,23 @@ func (b Batch) prepare() (algo.Spec, algo.BuildOpts, error) {
 		params = core.PracticalParams()
 	}
 	opts = algo.BuildOpts{Params: params, Delta: b.Delta}
-	if _, _, err := spec.Programs(opts); err != nil {
+	// Pre-flight the builder the batch will actually use, so
+	// capability mismatches (for example "noboard" without Delta)
+	// fail before any worker starts.
+	if b.useSteppers(spec) {
+		_, _, err = spec.Steppers(opts)
+	} else {
+		_, _, err = spec.Programs(opts)
+	}
+	if err != nil {
 		return spec, opts, fmt.Errorf("engine: %w", err)
 	}
 	return spec, opts, nil
 }
 
-// runTrial executes one trial of the batch.
-func runTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, trial int) Outcome {
-	progA, progB, err := spec.Programs(opts)
-	if err != nil {
-		return Outcome{Err: true}
-	}
-	res, err := sim.Run(sim.Config{
+// trialConfig is the simulation configuration shared by both paths.
+func trialConfig(b Batch, spec algo.Spec, trial int) sim.Config {
+	return sim.Config{
 		Graph:       b.Graph,
 		StartA:      b.StartA,
 		StartB:      b.StartB,
@@ -267,7 +314,29 @@ func runTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, trial int) Outcome {
 		Whiteboards: spec.Caps.Whiteboards,
 		Seed:        TrialSeed(b.Seed, trial),
 		MaxRounds:   b.MaxRounds,
-	}, progA, progB)
+	}
+}
+
+// runTrial executes one trial of the batch on the goroutine-backed
+// Program path.
+func runTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, trial int) Outcome {
+	progA, progB, err := spec.Programs(opts)
+	if err != nil {
+		return Outcome{Err: true}
+	}
+	res, err := sim.Run(trialConfig(b, spec, trial), progA, progB)
+	return OutcomeOf(res, err)
+}
+
+// runStepperTrial executes one trial on the stepper fast path,
+// reusing the worker-owned trial context's scratch (whiteboards,
+// neighbor-ID buffers, PCG state).
+func runStepperTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, tc *sim.TrialContext, trial int) Outcome {
+	stA, stB, err := spec.Steppers(opts)
+	if err != nil {
+		return Outcome{Err: true}
+	}
+	res, err := tc.RunSteppers(trialConfig(b, spec, trial), stA, stB)
 	return OutcomeOf(res, err)
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"math/rand/v2"
+	"strings"
+	"sync"
 	"testing"
 
 	"fnr/internal/algo"
@@ -120,6 +122,58 @@ func TestBatchValidation(t *testing.T) {
 	for i, b := range cases {
 		if _, err := Run(b); err == nil {
 			t.Errorf("case %d: invalid batch accepted", i)
+		}
+	}
+}
+
+// Equal start vertices would turn every trial into a round-0 meeting
+// and silently skew aggregates; the batch must be rejected up front
+// with an error that names the problem.
+func TestEqualStartsRejected(t *testing.T) {
+	g, sa, _ := testGraph(t)
+	_, err := Run(Batch{Graph: g, StartA: sa, StartB: sa, Algorithm: "sweep", Trials: 4, Seed: 1})
+	if err == nil {
+		t.Fatal("StartA == StartB accepted")
+	}
+	if !strings.Contains(err.Error(), "distinct start vertices") {
+		t.Fatalf("err = %v, want a distinct-start-vertices error", err)
+	}
+	// RunOutcomes goes through the same validation.
+	if _, err := RunOutcomes(Batch{Graph: g, StartA: sa, StartB: sa, Algorithm: "sweep", Trials: 4, Seed: 1}); err == nil {
+		t.Fatal("RunOutcomes accepted StartA == StartB")
+	}
+}
+
+func TestTrialsScratchPerWorker(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		scratches := map[*int]bool{}
+		got := TrialsScratch(workers, 40,
+			func() *int {
+				s := new(int)
+				mu.Lock()
+				scratches[s] = true
+				mu.Unlock()
+				return s
+			},
+			func(s *int, i int) int {
+				*s++ // scratch is worker-private: no lock needed
+				return i * i
+			})
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+		if len(scratches) > max(workers, 1) {
+			t.Fatalf("workers=%d: %d scratches allocated, want ≤ %d (one per worker)", workers, len(scratches), workers)
+		}
+		total := 0
+		for s := range scratches {
+			total += *s
+		}
+		if total != 40 {
+			t.Fatalf("workers=%d: scratch uses sum to %d, want 40", workers, total)
 		}
 	}
 }

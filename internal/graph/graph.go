@@ -20,6 +20,7 @@
 package graph
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"slices"
@@ -42,10 +43,16 @@ type Graph struct {
 	byID   map[int64]Vertex // identifier -> index
 	adj    [][]Vertex       // adj[v][p] = neighbor of v behind port p
 	sorted [][]Vertex       // per-vertex sorted adjacency, for HasEdge
-	nPrime int64            // ID-space bound n' (all IDs are in [0, n'))
-	minDeg int
-	maxDeg int
-	edges  int
+	nbrIDs [][]int64        // nbrIDs[v][p] = ID(adj[v][p]), one flat backing array
+	// Per-vertex ID->port index: idSorted[v] holds v's neighbor IDs
+	// ascending, idPort[v] the matching ports, so PortOfID is a
+	// binary search instead of an O(deg) scan.
+	idSorted [][]int64
+	idPort   [][]int32
+	nPrime   int64 // ID-space bound n' (all IDs are in [0, n'))
+	minDeg   int
+	maxDeg   int
+	edges    int
 }
 
 // N returns the number of vertices.
@@ -116,11 +123,15 @@ func (g *Graph) PortTo(u, v Vertex) int {
 // IDsOfNeighbors appends the identifiers of v's neighbors, in port
 // order, to dst and returns the extended slice.
 func (g *Graph) IDsOfNeighbors(v Vertex, dst []int64) []int64 {
-	for _, w := range g.adj[v] {
-		dst = append(dst, g.ids[w])
-	}
-	return dst
+	return append(dst, g.nbrIDs[v]...)
 }
+
+// NeighborIDList returns the identifiers of v's neighbors in port
+// order as a slice shared with the graph — no copy, so it is the
+// per-round fast path for the simulator's views. Callers must treat
+// it as read-only: the graph is immutable and the slice is shared by
+// every concurrent run on it.
+func (g *Graph) NeighborIDList(v Vertex) []int64 { return g.nbrIDs[v] }
 
 // Validate checks the structural invariants of the graph: symmetric
 // adjacency, no self-loops, no parallel edges, distinct in-range IDs.
@@ -196,6 +207,56 @@ func (g *Graph) finish() {
 		}
 	}
 	g.edges /= 2
+	// Precompute the per-vertex neighbor-ID lists (port order) into
+	// one flat backing array, so simulator views need no per-round
+	// ID translation.
+	flat := make([]int64, 0, 2*g.edges)
+	g.nbrIDs = make([][]int64, n)
+	for v := range g.adj {
+		start := len(flat)
+		for _, w := range g.adj[v] {
+			id := NoID // out-of-range neighbor: left for Validate to report
+			if int(w) >= 0 && int(w) < n {
+				id = g.ids[w]
+			}
+			flat = append(flat, id)
+		}
+		g.nbrIDs[v] = flat[start:len(flat):len(flat)]
+	}
+	// Build the ID->port binary-search index over the same lists.
+	flatIDs := make([]int64, 0, 2*g.edges)
+	flatPorts := make([]int32, 0, 2*g.edges)
+	g.idSorted = make([][]int64, n)
+	g.idPort = make([][]int32, n)
+	for v := range g.adj {
+		d := len(g.adj[v])
+		perm := make([]int32, d)
+		for p := range perm {
+			perm[p] = int32(p)
+		}
+		ids := g.nbrIDs[v]
+		slices.SortFunc(perm, func(a, b int32) int {
+			return cmp.Compare(ids[a], ids[b])
+		})
+		is, ps := len(flatIDs), len(flatPorts)
+		for _, p := range perm {
+			flatIDs = append(flatIDs, ids[p])
+			flatPorts = append(flatPorts, p)
+		}
+		g.idSorted[v] = flatIDs[is:len(flatIDs):len(flatIDs)]
+		g.idPort[v] = flatPorts[ps:len(flatPorts):len(flatPorts)]
+	}
+}
+
+// PortOfID returns the local port of v leading to the neighbor with
+// the given ID, or -1 if v has no such neighbor. It runs in
+// O(log deg(v)).
+func (g *Graph) PortOfID(v Vertex, id int64) int {
+	s := g.idSorted[v]
+	if i, ok := slices.BinarySearch(s, id); ok {
+		return int(g.idPort[v][i])
+	}
+	return -1
 }
 
 // FromAdjacency constructs a graph directly from an ID table and an

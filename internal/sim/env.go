@@ -3,63 +3,38 @@ package sim
 import (
 	"fmt"
 	"math/rand/v2"
-
-	"fnr/internal/graph"
 )
 
 // Program is an agent algorithm written in direct style against an Env.
-// The runtime runs it on its own goroutine; every Env movement call
-// costs exactly one simulated round and blocks until the runtime
-// advances. Returning from the program halts the agent at its current
-// vertex (equivalent to Halt).
+// Under Run the program gets its own goroutine and every Env movement
+// call costs exactly one simulated round, blocking until the runtime
+// advances; under NewProgramStepper the same function runs on a
+// coroutine inside the stepper fast path. Returning from the program
+// halts the agent at its current vertex (equivalent to Halt).
 type Program func(e *Env)
 
 // Env is an agent's handle onto the simulation: its view of the current
 // vertex and the actions it may take. An Env is only valid inside the
 // Program it was passed to and must not be shared across goroutines.
 type Env struct {
-	name    AgentName
-	nPrime  int64
-	kt1     bool
-	boards  bool
-	rng     *rand.Rand
-	viewCh  <-chan view
-	actCh   chan<- action
+	name   AgentName
+	nPrime int64
+	kt1    bool
+	boards bool
+	rng    *rand.Rand
+	// Channel transport (goroutine-backed adapter); nil in pull mode.
+	viewCh  <-chan View
+	actCh   chan<- Action
 	done    <-chan struct{}
-	cur     view
+	cur     View
 	haveCur bool
+	// Coroutine transport (pull adapter); nil in channel mode.
+	pull    *pullProgramStepper
 	staged  bool  // staged whiteboard write
 	stagedV int64 // value of the staged write
 }
 
-// view is the per-round observation handed to an agent.
-type view struct {
-	round      int64
-	hereID     int64
-	degree     int
-	neighborID []int64 // shared buffer, only valid for the round; nil in KT0
-	whiteboard int64
-}
-
-type actionKind uint8
-
-const (
-	actStay actionKind = iota
-	actMove
-	actHalt
-	actPanic
-)
-
-type action struct {
-	kind     actionKind
-	port     int   // actMove
-	wait     int64 // actStay: total rounds to spend staying (≥ 1)
-	write    bool  // commit a whiteboard write at the current vertex
-	writeVal int64
-	err      error // actPanic
-}
-
-// control-flow sentinels for unwinding agent goroutines.
+// control-flow sentinels for unwinding agent goroutines/coroutines.
 type ctrlSignal uint8
 
 const (
@@ -84,23 +59,24 @@ func (e *Env) HasNeighborIDs() bool { return e.kt1 }
 func (e *Env) HasWhiteboards() bool { return e.boards }
 
 // Round returns the current round number.
-func (e *Env) Round() int64 { return e.view().round }
+func (e *Env) Round() int64 { return e.view().Round }
 
 // HereID returns the ID of the agent's current vertex.
-func (e *Env) HereID() int64 { return e.view().hereID }
+func (e *Env) HereID() int64 { return e.view().HereID }
 
 // Degree returns the degree of the current vertex.
-func (e *Env) Degree() int { return e.view().degree }
+func (e *Env) Degree() int { return e.view().Degree }
 
 // NeighborIDs returns the IDs of the current vertex's neighbors in
 // local port order, or nil in KT0 mode. The slice is shared with the
-// runtime and is valid only until the next movement call; copy it to
+// runtime (zero-copy from the graph) and must be treated as strictly
+// read-only and valid only until the next movement call; copy it to
 // retain it.
-func (e *Env) NeighborIDs() []int64 { return e.view().neighborID }
+func (e *Env) NeighborIDs() []int64 { return e.view().NeighborIDs }
 
 // Whiteboard returns the whiteboard content of the current vertex as of
 // the beginning of the round (NoMark if empty or disabled).
-func (e *Env) Whiteboard() int64 { return e.view().whiteboard }
+func (e *Env) Whiteboard() int64 { return e.view().Whiteboard }
 
 // WriteWhiteboard stages a write of v to the current vertex's
 // whiteboard; it commits together with the agent's next action this
@@ -125,14 +101,14 @@ func (e *Env) StayFor(k int64) {
 	if k <= 0 {
 		return
 	}
-	e.step(action{kind: actStay, wait: k})
+	e.step(Action{kind: actStay, wait: k})
 }
 
 // WaitUntilRound stays until the global round counter reaches r (a
 // no-op if r is not in the future). Used for the paper's barrier
 // synchronization in Rendezvous-without-Whiteboards.
 func (e *Env) WaitUntilRound(r int64) {
-	now := e.view().round
+	now := e.view().Round
 	if r > now {
 		e.StayFor(r - now)
 	}
@@ -140,10 +116,10 @@ func (e *Env) WaitUntilRound(r int64) {
 
 // MoveToPort crosses the edge behind local port p (one round).
 func (e *Env) MoveToPort(p int) error {
-	if p < 0 || p >= e.view().degree {
-		return fmt.Errorf("sim: agent %s moving through port %d of a degree-%d vertex", e.name, p, e.view().degree)
+	if p < 0 || p >= e.view().Degree {
+		return fmt.Errorf("sim: agent %s moving through port %d of a degree-%d vertex", e.name, p, e.view().Degree)
 	}
-	e.step(action{kind: actMove, port: p})
+	e.step(Action{kind: actMove, port: p})
 	return nil
 }
 
@@ -154,13 +130,11 @@ func (e *Env) MoveToID(id int64) error {
 	if !e.kt1 {
 		return fmt.Errorf("sim: agent %s used MoveToID without neighbor-ID access", e.name)
 	}
-	for p, nid := range e.view().neighborID {
-		if nid == id {
-			e.step(action{kind: actMove, port: p})
-			return nil
-		}
+	if p, ok := e.view().PortOfID(id); ok {
+		e.step(Action{kind: actMove, port: p})
+		return nil
 	}
-	return fmt.Errorf("sim: agent %s at vertex %d has no neighbor with ID %d", e.name, e.view().hereID, id)
+	return fmt.Errorf("sim: agent %s at vertex %d has no neighbor with ID %d", e.name, e.view().HereID, id)
 }
 
 // Halt stops the agent at its current vertex permanently. It does not
@@ -171,7 +145,10 @@ func (e *Env) Halt() {
 
 // view returns the current round's observation, blocking for the
 // runtime if the previous action consumed it.
-func (e *Env) view() *view {
+func (e *Env) view() *View {
+	if e.pull != nil {
+		return e.pull.cur
+	}
 	if !e.haveCur {
 		select {
 		case v := <-e.viewCh:
@@ -186,14 +163,20 @@ func (e *Env) view() *view {
 
 // step submits an action (attaching any staged whiteboard write) and
 // marks the current view stale.
-func (e *Env) step(act action) {
-	// Ensure the round's view was produced before acting, so that the
-	// runtime is in its receive state.
+func (e *Env) step(act Action) {
+	// Ensure the round's view was produced before acting, so that a
+	// channel-mode runtime is in its receive state.
 	e.view()
 	if e.staged {
 		act.write = true
 		act.writeVal = e.stagedV
 		e.staged = false
+	}
+	if e.pull != nil {
+		if !e.pull.yield(act) {
+			panic(stopSignal)
+		}
+		return
 	}
 	e.haveCur = false
 	select {
@@ -203,127 +186,97 @@ func (e *Env) step(act action) {
 	}
 }
 
-// driver is the runtime-side handle of one agent.
-type driver struct {
-	name         AgentName
-	rt           *runtime
-	pos          graph.Vertex
-	moveTo       graph.Vertex
-	waiting      int64
-	halted       bool
-	pendingWrite bool
-	writeVal     int64
-	moves        int64
-	stays        int64
-	prog         Program
-	env          *Env
-	viewCh       chan view
-	actCh        chan action
-	done         chan struct{}
-	exited       chan struct{}
-	nbuf         []int64
+// exitAction maps a program's exit cause (the value recovered at its
+// top frame) to the final action reported to the runtime; ok=false
+// means a silent shutdown-driven exit.
+func exitAction(r any) (Action, bool) {
+	switch r {
+	case nil, haltSignal:
+		return Action{kind: actHalt}, true
+	case stopSignal:
+		return Action{}, false
+	default:
+		return Action{kind: actPanic, err: fmt.Errorf("program panic: %v", r)}, true
+	}
 }
 
-func newDriver(rt *runtime, name AgentName, start graph.Vertex, rng *rand.Rand, prog Program) *driver {
-	d := &driver{
-		name:   name,
-		rt:     rt,
-		pos:    start,
-		moveTo: graph.NilVertex,
+// chanProgramStepper hosts a Program on its own goroutine and bridges
+// it to the stepper runtime with a pair of unbuffered channels — the
+// classic "goroutine path". Every acting round costs two channel
+// handoffs; batch callers wanting the fast path use the coroutine
+// adapter (NewProgramStepper) or a native Stepper instead.
+type chanProgramStepper struct {
+	prog    Program
+	env     *Env
+	viewCh  chan View
+	actCh   chan Action
+	done    chan struct{}
+	exited  chan struct{}
+	started bool
+}
+
+func newChanProgramStepper(prog Program) *chanProgramStepper {
+	return &chanProgramStepper{
 		prog:   prog,
-		viewCh: make(chan view),
-		actCh:  make(chan action),
+		viewCh: make(chan View),
+		actCh:  make(chan Action),
 		done:   make(chan struct{}),
 		exited: make(chan struct{}),
 	}
-	d.env = &Env{
-		name:   name,
-		nPrime: rt.g.NPrime(),
-		kt1:    rt.kt1,
-		boards: rt.whiteboards,
-		rng:    rng,
-		viewCh: d.viewCh,
-		actCh:  d.actCh,
-		done:   d.done,
-	}
-	return d
 }
 
-// start launches the agent goroutine. The program begins executing
-// immediately but blocks on its first observation until step delivers
-// the round-0 view.
-func (d *driver) start() {
+// Init launches the agent goroutine. The program begins executing
+// immediately but blocks on its first observation until the runtime
+// delivers the round-0 view.
+func (ps *chanProgramStepper) Init(ctx *StepContext) {
+	ps.env = &Env{
+		name:   ctx.Name,
+		nPrime: ctx.NPrime,
+		kt1:    ctx.NeighborIDs,
+		boards: ctx.Whiteboards,
+		rng:    ctx.Rand,
+		viewCh: ps.viewCh,
+		actCh:  ps.actCh,
+		done:   ps.done,
+	}
+	ps.started = true
 	go func() {
-		defer close(d.exited)
+		defer close(ps.exited)
 		defer func() {
-			r := recover()
-			var act action
-			switch r {
-			case nil, haltSignal:
-				act = action{kind: actHalt}
-			case stopSignal:
+			act, ok := exitAction(recover())
+			if !ok {
 				return // runtime is shutting down; exit silently
-			default:
-				act = action{kind: actPanic, err: fmt.Errorf("program panic: %v", r)}
 			}
 			select {
-			case d.actCh <- act:
-			case <-d.done:
+			case ps.actCh <- act:
+			case <-ps.done:
 			}
 		}()
-		d.prog(d.env)
+		ps.prog(ps.env)
 	}()
 }
 
-// step delivers the current view to the agent and collects its action.
+// Next delivers the current view to the agent and collects its action.
 // If the agent already produced an action without consuming a view
 // (e.g. it halted right after its previous move), the stale view is
 // discarded.
-func (d *driver) step() error {
-	v := view{
-		round:      d.rt.round,
-		hereID:     d.rt.g.ID(d.pos),
-		degree:     d.rt.g.Degree(d.pos),
-		whiteboard: NoMark,
-	}
-	if d.rt.whiteboards {
-		v.whiteboard = d.rt.boards[d.pos]
-	}
-	if d.rt.kt1 {
-		d.nbuf = d.rt.g.IDsOfNeighbors(d.pos, d.nbuf[:0])
-		v.neighborID = d.nbuf
-	}
-	var act action
+func (ps *chanProgramStepper) Next(v *View) Action {
 	select {
-	case d.viewCh <- v:
-		act = <-d.actCh
-	case act = <-d.actCh:
+	case ps.viewCh <- *v:
+		return <-ps.actCh
+	case act := <-ps.actCh:
+		return act
 	}
-	switch act.kind {
-	case actPanic:
-		d.halted = true
-		return act.err
-	case actHalt:
-		d.halted = true
-	case actStay:
-		d.waiting = act.wait - 1
-		d.stays++
-	case actMove:
-		d.moveTo = d.rt.g.Neighbor(d.pos, act.port)
-	}
-	if act.write {
-		d.pendingWrite = true
-		d.writeVal = act.writeVal
-	}
-	return nil
 }
 
-// stop tears the agent goroutine down (idempotent).
-func (d *driver) stop() {
+// stop tears the agent goroutine down (idempotent, safe before Init).
+func (ps *chanProgramStepper) stop() {
 	select {
-	case <-d.done:
+	case <-ps.done:
 	default:
-		close(d.done)
+		close(ps.done)
 	}
-	<-d.exited
+	if ps.started {
+		<-ps.exited
+	}
 }

@@ -6,19 +6,27 @@
 // completes at round t when both agents occupy the same vertex at the
 // beginning of round t.
 //
-// Agents are written as ordinary Go functions (Program) against an Env
-// handle; the runtime runs each program on its own goroutine and
-// advances both in lockstep. Multi-round waits are fast-forwarded when
-// neither agent needs to act, so wait-heavy algorithms (such as the
-// paper's no-whiteboard algorithm) simulate in time proportional to
-// their activity, not to their round count.
+// Agents come in two styles sharing one lockstep loop:
+//
+//   - Program: ordinary Go functions against an Env handle. Run drives
+//     each program on its own goroutine with a channel handoff per
+//     acting round (the classic path); NewProgramStepper instead hosts
+//     the same function on a lightweight coroutine for the fast path.
+//   - Stepper: explicit state machines (Next(view) action) that the
+//     runtime steps inline — no goroutines, no channels, and with
+//     per-trial scratch reuse via TrialContext. This is the hot path
+//     for batch trials.
+//
+// Multi-round waits are fast-forwarded when neither agent needs to
+// act, so wait-heavy algorithms (such as the paper's no-whiteboard
+// algorithm) simulate in time proportional to their activity, not to
+// their round count.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand/v2"
 
 	"fnr/internal/graph"
 )
@@ -62,7 +70,10 @@ type Config struct {
 	// selects the generous default 4n²+1000 (beyond any exploration
 	// bound for the instances we run).
 	MaxRounds int64
-	// Seed derives both agents' private random streams.
+	// Seed derives both agents' private random streams. Seed 0 is
+	// normalized to 1 here, in the simulator, so every entry point
+	// (fnr.Rendezvous, the batch engine, direct Run/RunSteppers
+	// calls) agrees on what the default-seeded run is.
 	Seed uint64
 	// DisableMeeting turns off rendezvous detection: agents pass
 	// through each other and the run ends only on MaxRounds or both
@@ -128,8 +139,24 @@ func DefaultMaxRounds(g *graph.Graph) int64 {
 
 // Run executes the two programs on cfg's graph until rendezvous, both
 // agents halting, or the round budget expiring. It returns an error for
-// invalid configurations or if a program panics.
+// invalid configurations or if a program panics. Each program runs on
+// its own goroutine with a channel handoff per acting round; batch
+// callers should prefer the stepper path (RunSteppers with steppers or
+// NewProgramStepper adapters), which steps agents inline.
 func Run(cfg Config, progA, progB Program) (*Result, error) {
+	var sa, sb Stepper
+	if progA != nil {
+		sa = newChanProgramStepper(progA)
+	}
+	if progB != nil {
+		sb = newChanProgramStepper(progB)
+	}
+	return runSteppers(cfg, NewTrialContext(), sa, sb)
+}
+
+// runSteppers is the single lockstep entry point behind Run and
+// RunSteppers: validate, wire the agents to tc's scratch, loop.
+func runSteppers(cfg Config, tc *TrialContext, stA, stB Stepper) (*Result, error) {
 	if cfg.Graph == nil {
 		return nil, errors.New("sim: nil graph")
 	}
@@ -137,12 +164,25 @@ func Run(cfg Config, progA, progB Program) (*Result, error) {
 	if cfg.StartA < 0 || cfg.StartA >= n || cfg.StartB < 0 || cfg.StartB >= n {
 		return nil, fmt.Errorf("sim: start vertices (%d, %d) out of range [0,%d)", cfg.StartA, cfg.StartB, n)
 	}
-	if progA == nil || progB == nil {
-		return nil, errors.New("sim: nil program")
+	if stA == nil || stB == nil {
+		return nil, errors.New("sim: nil agent (program or stepper)")
+	}
+	// Program adapters own a goroutine or coroutine; guarantee
+	// teardown on every exit so nothing outlives the run (or touches
+	// tc's buffers after they are handed to the next trial).
+	if s, ok := stA.(stopper); ok {
+		defer s.stop()
+	}
+	if s, ok := stB.(stopper); ok {
+		defer s.stop()
 	}
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds(cfg.Graph)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
 	}
 
 	rt := &runtime{
@@ -155,14 +195,25 @@ func Run(cfg Config, progA, progB Program) (*Result, error) {
 		meetFrom:    cfg.MeetingFromRound,
 	}
 	if cfg.Whiteboards {
-		rt.boards = make([]int64, cfg.Graph.N())
-		for i := range rt.boards {
-			rt.boards[i] = NoMark
-		}
+		rt.boards = tc.boardsFor(cfg.Graph.N())
 	}
-	rt.agents[AgentA] = newDriver(rt, AgentA, cfg.StartA, rand.New(rand.NewPCG(cfg.Seed, 0xA)), progA)
-	rt.agents[AgentB] = newDriver(rt, AgentB, cfg.StartB, rand.New(rand.NewPCG(cfg.Seed, 0xB)), progB)
-	defer rt.shutdown()
+	starts := [2]graph.Vertex{cfg.StartA, cfg.StartB}
+	streams := [2]uint64{0xA, 0xB}
+	for i, st := range [2]Stepper{stA, stB} {
+		ag := &rt.agents[i]
+		ag.name = AgentName(i)
+		ag.st = st
+		ag.pos = starts[i]
+		ag.moveTo = graph.NilVertex
+		ctx := StepContext{
+			Name:        ag.name,
+			NPrime:      cfg.Graph.NPrime(),
+			NeighborIDs: cfg.NeighborIDs,
+			Whiteboards: cfg.Whiteboards,
+			Rand:        tc.randFor(i, seed, streams[i]),
+		}
+		st.Init(&ctx)
+	}
 	return rt.run()
 }
 
@@ -178,13 +229,26 @@ type runtime struct {
 	meetFrom    int64
 	round       int64
 	writes      int64
-	agents      [2]*driver
+	agents      [2]agentState
+}
+
+// agentState is the runtime-side state of one agent.
+type agentState struct {
+	name         AgentName
+	st           Stepper
+	pos          graph.Vertex
+	moveTo       graph.Vertex
+	waiting      int64
+	halted       bool
+	pendingWrite bool
+	writeVal     int64
+	moves        int64
+	stays        int64
+	view         View
 }
 
 func (rt *runtime) run() (*Result, error) {
-	a, b := rt.agents[AgentA], rt.agents[AgentB]
-	a.start()
-	b.start()
+	a, b := &rt.agents[0], &rt.agents[1]
 	for {
 		// Rendezvous check at the beginning of the round.
 		if a.pos == b.pos && !rt.noMeeting && rt.round >= rt.meetFrom {
@@ -208,8 +272,8 @@ func (rt *runtime) run() (*Result, error) {
 				// check must run exactly at meetFrom.
 				capped = min(capped, rt.meetFrom-rt.round)
 			}
-			for _, d := range rt.agents {
-				if !d.halted {
+			for i := range rt.agents {
+				if d := &rt.agents[i]; !d.halted {
 					d.waiting -= capped
 					d.stays += capped
 				}
@@ -218,8 +282,9 @@ func (rt *runtime) run() (*Result, error) {
 			rt.round += capped
 			continue
 		}
-		// Collect one action from each live agent.
-		for _, d := range rt.agents {
+		// Collect one action from each live agent, a first.
+		for i := range rt.agents {
+			d := &rt.agents[i]
 			if d.halted {
 				continue
 			}
@@ -228,13 +293,17 @@ func (rt *runtime) run() (*Result, error) {
 				d.stays++
 				continue
 			}
-			if err := d.step(); err != nil {
+			if err := rt.step(d); err != nil {
 				return nil, fmt.Errorf("sim: agent %s: %w", d.name, err)
 			}
 		}
-		// Commit writes (agents occupy distinct vertices here), then
-		// moves.
-		for _, d := range rt.agents {
+		// Commit whiteboard writes in agent order. When the agents
+		// occupy the same vertex (possible under DisableMeeting or
+		// before MeetingFromRound) and both wrote this round, agent
+		// b's value wins — last-writer-wins in (a, b) order is a
+		// documented guarantee, and both writes still count.
+		for i := range rt.agents {
+			d := &rt.agents[i]
 			if d.pendingWrite {
 				d.pendingWrite = false
 				if rt.whiteboards {
@@ -244,7 +313,8 @@ func (rt *runtime) run() (*Result, error) {
 			}
 		}
 		rt.observe(1)
-		for _, d := range rt.agents {
+		for i := range rt.agents {
+			d := &rt.agents[i]
 			if d.moveTo != graph.NilVertex {
 				d.pos = d.moveTo
 				d.moveTo = graph.NilVertex
@@ -255,13 +325,58 @@ func (rt *runtime) run() (*Result, error) {
 	}
 }
 
+// step builds d's view of the current round, asks its stepper for one
+// action, and applies it to the runtime state.
+func (rt *runtime) step(d *agentState) error {
+	v := &d.view
+	v.Round = rt.round
+	v.HereID = rt.g.ID(d.pos)
+	v.Degree = rt.g.Degree(d.pos)
+	v.Whiteboard = NoMark
+	if rt.whiteboards {
+		v.Whiteboard = rt.boards[d.pos]
+	}
+	v.NeighborIDs = nil
+	v.g, v.here = nil, graph.NilVertex
+	if rt.kt1 {
+		// Zero-copy: the graph's precomputed per-vertex ID list, with
+		// the graph's ID->port index backing PortOfID. Agents hold
+		// both read-only (documented on View and Env).
+		v.NeighborIDs = rt.g.NeighborIDList(d.pos)
+		v.g, v.here = rt.g, d.pos
+	}
+	act := d.st.Next(v)
+	switch act.kind {
+	case actPanic:
+		d.halted = true
+		return act.err
+	case actHalt:
+		d.halted = true
+	case actStay:
+		d.waiting = max(act.wait, 1) - 1
+		d.stays++
+	case actMove:
+		if act.port < 0 || act.port >= v.Degree {
+			d.halted = true
+			return fmt.Errorf("moved through port %d of a degree-%d vertex", act.port, v.Degree)
+		}
+		d.moveTo = rt.g.Neighbor(d.pos, act.port)
+	}
+	if act.write {
+		d.pendingWrite = true
+		d.writeVal = act.writeVal
+	}
+	return nil
+}
+
 // skippable returns the largest number of rounds that can elapse with no
 // agent needing to act (minimum of live agents' remaining waits; halted
 // agents never act). Returns 0 if some live agent must act now.
 func (rt *runtime) skippable() int64 {
 	skip := int64(math.MaxInt64)
 	live := false
-	for _, d := range rt.agents {
+	for i := range rt.agents {
+		d := &rt.agents[i]
 		if d.halted {
 			continue
 		}
@@ -289,19 +404,11 @@ func (rt *runtime) observe(skipped int64) {
 }
 
 func (rt *runtime) result() *Result {
-	a, b := rt.agents[AgentA], rt.agents[AgentB]
+	a, b := &rt.agents[0], &rt.agents[1]
 	return &Result{
 		Rounds: rt.round,
 		A:      AgentStats{Moves: a.moves, Stays: a.stays, Halted: a.halted},
 		B:      AgentStats{Moves: b.moves, Stays: b.stays, Halted: b.halted},
 		Writes: rt.writes,
-	}
-}
-
-func (rt *runtime) shutdown() {
-	for _, d := range rt.agents {
-		if d != nil {
-			d.stop()
-		}
 	}
 }

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"fnr/internal/graph"
+)
+
+// Stepper is an agent algorithm in state-machine style: the lockstep
+// runtime calls Next once per acting round with the agent's current
+// observation and receives the action to perform. Steppers run inline
+// on the runtime's goroutine — no goroutines, no channel handoffs —
+// which makes them the fast path for batch trials (see
+// TrialContext.RunSteppers and the engine's automatic path selection).
+//
+// A Stepper is built fresh for every run and may keep arbitrary state
+// between Next calls. Init is called exactly once, before round 0,
+// with the agent's identity and private random stream; Next is never
+// called after it returns Halt or Abort, nor while a previous StayFor
+// is still elapsing.
+//
+// Direct-style Programs remain fully supported: NewProgramStepper
+// adapts any Program into a Stepper via a lightweight coroutine, and
+// Run drives Programs through the classic goroutine-backed adapter.
+type Stepper interface {
+	// Init receives the run-constant context before round 0. The
+	// context (including ctx.Rand) is only valid for this run.
+	Init(ctx *StepContext)
+	// Next returns the agent's action for the current acting round.
+	// The View and its NeighborIDs buffer are shared with the runtime
+	// and valid only until the agent's next acting round; copy what
+	// must be retained.
+	Next(v *View) Action
+}
+
+// StepContext carries the run-constant inputs handed to a Stepper's
+// Init — the stepper-path counterpart of Env's accessor methods.
+type StepContext struct {
+	// Name is which agent the stepper is running as.
+	Name AgentName
+	// NPrime is the ID-space bound n' known to agents (paper §2.1).
+	NPrime int64
+	// NeighborIDs reports KT1-style neighbor-ID access: when false,
+	// View.NeighborIDs is always nil.
+	NeighborIDs bool
+	// Whiteboards reports whether the run provides whiteboards; in a
+	// whiteboard-free run staged writes are silently dropped, so
+	// strategies that depend on boards should Abort when this is
+	// false.
+	Whiteboards bool
+	// Rand is the agent's private deterministic random stream, seeded
+	// from (Config.Seed, agent name) exactly as on the Program path.
+	Rand *rand.Rand
+}
+
+// View is the per-round observation handed to an agent: the state of
+// its current vertex at the beginning of the round.
+type View struct {
+	// Round is the current round number.
+	Round int64
+	// HereID is the ID of the agent's current vertex.
+	HereID int64
+	// Degree is the degree of the current vertex.
+	Degree int
+	// NeighborIDs holds the IDs of the current vertex's neighbors in
+	// local port order, or nil in KT0 mode. The slice is shared with
+	// the graph (zero-copy) and must be treated as strictly read-only;
+	// treat it as valid only for the acting round.
+	NeighborIDs []int64
+	// Whiteboard is the whiteboard content of the current vertex as of
+	// the beginning of the round (NoMark if empty or disabled).
+	Whiteboard int64
+
+	// g/here back PortOfID with the graph's precomputed ID->port
+	// index when the runtime grants neighbor-ID access; a View built
+	// by hand (tests) falls back to scanning NeighborIDs.
+	g    *graph.Graph
+	here graph.Vertex
+}
+
+// PortOfID returns the local port leading to the neighbor with the
+// given ID, or ok=false if no such neighbor is visible (including all
+// KT0 runs, where NeighborIDs is nil).
+func (v *View) PortOfID(id int64) (port int, ok bool) {
+	if v.g != nil {
+		if p := v.g.PortOfID(v.here, id); p >= 0 {
+			return p, true
+		}
+		return -1, false
+	}
+	for p, nid := range v.NeighborIDs {
+		if nid == id {
+			return p, true
+		}
+	}
+	return -1, false
+}
+
+// Action is one agent decision for one acting round. Build actions
+// with the constructors (Stay, StayFor, Move, Halt, Abort) and attach
+// a whiteboard write with WithWrite; the zero value is a 1-round stay.
+type Action struct {
+	kind     actionKind
+	port     int   // actMove
+	wait     int64 // actStay: total rounds to spend staying (≥ 1)
+	write    bool  // commit a whiteboard write at the current vertex
+	writeVal int64
+	err      error // actPanic
+}
+
+type actionKind uint8
+
+const (
+	actStay actionKind = iota
+	actMove
+	actHalt
+	actPanic
+)
+
+// Stay spends one round at the current vertex.
+func Stay() Action { return Action{kind: actStay, wait: 1} }
+
+// StayFor spends k rounds at the current vertex (k < 1 is clamped to
+// 1: unlike Env.StayFor, a Stepper cannot act without consuming a
+// round). The runtime fast-forwards overlapping waits, so large k is
+// cheap.
+func StayFor(k int64) Action {
+	if k < 1 {
+		k = 1
+	}
+	return Action{kind: actStay, wait: k}
+}
+
+// Move crosses the edge behind local port p (one round). An
+// out-of-range port aborts the run with an error, matching a Program
+// panic.
+func Move(p int) Action { return Action{kind: actMove, port: p} }
+
+// Halt stops the agent at its current vertex permanently.
+func Halt() Action { return Action{kind: actHalt} }
+
+// Abort fails the whole run with err — the stepper counterpart of a
+// Program panic, for states an algorithm considers impossible.
+func Abort(err error) Action { return Action{kind: actPanic, err: err} }
+
+// WithWrite stages a whiteboard write of val to the agent's current
+// vertex; it commits together with the action in the same round,
+// matching the formal model where the algorithm's output is (state,
+// move, whiteboard content). Writes in whiteboard-free runs are
+// dropped.
+func (a Action) WithWrite(val int64) Action {
+	a.write = true
+	a.writeVal = val
+	return a
+}
+
+// stopper is implemented by the Program adapters, whose execution
+// resources (goroutine or coroutine) need teardown when a run ends
+// before the program returns. The runtime stops every stepper that
+// implements it.
+type stopper interface{ stop() }
+
+// TrialContext owns the per-trial scratch of the stepper fast path —
+// the whiteboard array and both agents' PCG state — so that a worker
+// running many trials in sequence allocates (almost) nothing per
+// trial. A TrialContext is not safe for concurrent use; give each
+// worker goroutine its own.
+type TrialContext struct {
+	boards []int64
+	pcg    [2]*rand.PCG
+	rand   [2]*rand.Rand
+}
+
+// NewTrialContext returns an empty reusable trial context.
+func NewTrialContext() *TrialContext {
+	tc := &TrialContext{}
+	for i := range tc.pcg {
+		tc.pcg[i] = rand.NewPCG(0, 0)
+		tc.rand[i] = rand.New(tc.pcg[i])
+	}
+	return tc
+}
+
+// boardsFor returns the whiteboard array reset to n empty boards,
+// reusing the previous trial's capacity.
+func (tc *TrialContext) boardsFor(n int) []int64 {
+	if cap(tc.boards) < n {
+		tc.boards = make([]int64, n)
+	}
+	tc.boards = tc.boards[:n]
+	for i := range tc.boards {
+		tc.boards[i] = NoMark
+	}
+	return tc.boards
+}
+
+// randFor reseeds and returns agent i's reusable random stream.
+// rand.Rand is a stateless wrapper around its Source, so reseeding
+// the PCG in place reproduces rand.New(rand.NewPCG(seed, stream))
+// draw for draw.
+func (tc *TrialContext) randFor(i int, seed, stream uint64) *rand.Rand {
+	tc.pcg[i].Seed(seed, stream)
+	return tc.rand[i]
+}
+
+// RunSteppers executes two stepper agents on cfg's graph until
+// rendezvous, both agents halting, or the round budget expiring —
+// the goroutine-free counterpart of Run, reusing tc's scratch. It
+// returns an error for invalid configurations or if a stepper aborts.
+func (tc *TrialContext) RunSteppers(cfg Config, a, b Stepper) (*Result, error) {
+	return runSteppers(cfg, tc, a, b)
+}
+
+// RunSteppers executes two stepper agents with fresh scratch. Callers
+// running many trials should hold a TrialContext and use its
+// RunSteppers method instead.
+func RunSteppers(cfg Config, a, b Stepper) (*Result, error) {
+	return runSteppers(cfg, NewTrialContext(), a, b)
+}

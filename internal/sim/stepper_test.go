@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"errors"
+	goruntime "runtime"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// walkStepper is the stepper twin of the randomWalk test program.
+type walkStepper struct{ ctx *StepContext }
+
+func (s *walkStepper) Init(ctx *StepContext) { s.ctx = ctx }
+
+func (s *walkStepper) Next(v *View) Action {
+	return Move(s.ctx.Rand.IntN(v.Degree))
+}
+
+// stayStepper is the stepper twin of the stayer test program.
+type stayStepper struct{}
+
+func (stayStepper) Init(*StepContext) {}
+
+func (stayStepper) Next(*View) Action { return Stay() }
+
+func resultsEqual(a, b *Result) bool { return *a == *b }
+
+// Seed-0 regression: the default seed is normalized inside the
+// simulator, so a raw Seed 0 and an explicit Seed 1 are the same run
+// on every path. (Before the fix, fnr.Rendezvous normalized 0 to 1
+// but direct sim.Run calls and the engine used the raw seed, so the
+// same logical run differed by entry point.)
+func TestSeedZeroNormalizedToOne(t *testing.T) {
+	g := mustComplete(t, 12)
+	run := func(seed uint64) *Result {
+		res, err := Run(Config{Graph: g, StartA: 0, StartB: 7, Seed: seed, MaxRounds: 100000}, randomWalk, randomWalk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if !resultsEqual(run(0), run(1)) {
+		t.Error("program path: Seed 0 and Seed 1 are different runs")
+	}
+	runSt := func(seed uint64) *Result {
+		res, err := RunSteppers(Config{Graph: g, StartA: 0, StartB: 7, Seed: seed, MaxRounds: 100000}, &walkStepper{}, &walkStepper{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if !resultsEqual(runSt(0), runSt(1)) {
+		t.Error("stepper path: Seed 0 and Seed 1 are different runs")
+	}
+	if !resultsEqual(run(0), runSt(0)) {
+		t.Error("program and stepper paths disagree on the default-seeded run")
+	}
+}
+
+// Co-located writes: when both agents write the same vertex in the
+// same round (possible under DisableMeeting), commits happen in agent
+// order, so agent b's value wins — an explicit guarantee, with both
+// writes counted.
+func TestColocatedWritesLastWriterWins(t *testing.T) {
+	g := mustComplete(t, 4)
+	writer := func(val int64) Program {
+		return func(e *Env) {
+			if err := e.WriteWhiteboard(val); err != nil {
+				panic(err)
+			}
+			e.Stay() // commit the write, stay put
+			if e.Whiteboard() != 222 {
+				panic("board does not hold agent b's value")
+			}
+			e.Halt()
+		}
+	}
+	res, err := Run(Config{
+		Graph: g, StartA: 1, StartB: 1,
+		Whiteboards: true, DisableMeeting: true, MaxRounds: 10,
+	}, writer(111), writer(222))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes != 2 {
+		t.Fatalf("Writes = %d, want 2 (both co-located writes count)", res.Writes)
+	}
+
+	// Same guarantee on the stepper path.
+	mk := func(val int64) Stepper { return &colocatedWriter{val: val} }
+	resSt, err := RunSteppers(Config{
+		Graph: g, StartA: 1, StartB: 1,
+		Whiteboards: true, DisableMeeting: true, MaxRounds: 10,
+	}, mk(111), mk(222))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSt.Writes != 2 {
+		t.Fatalf("stepper path: Writes = %d, want 2", resSt.Writes)
+	}
+}
+
+// colocatedWriter writes its value at round 0, then verifies agent
+// b's value won before halting.
+type colocatedWriter struct {
+	val  int64
+	step int
+}
+
+func (s *colocatedWriter) Init(*StepContext) {}
+
+func (s *colocatedWriter) Next(v *View) Action {
+	s.step++
+	switch s.step {
+	case 1:
+		return Stay().WithWrite(s.val)
+	default:
+		if v.Whiteboard != 222 {
+			return Abort(errors.New("board does not hold agent b's value"))
+		}
+		return Halt()
+	}
+}
+
+// The coroutine adapter must be observationally identical to the
+// goroutine adapter for the same program, across normal runs, early
+// halts, and panics.
+func TestProgramStepperMatchesGoroutinePath(t *testing.T) {
+	g := mustComplete(t, 12)
+	cfg := Config{Graph: g, StartA: 0, StartB: 7, Seed: 42, MaxRounds: 100000}
+	viaChan, err := Run(cfg, randomWalk, randomWalk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPull, err := RunSteppers(cfg, NewProgramStepper(randomWalk), NewProgramStepper(randomWalk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(viaChan, viaPull) {
+		t.Fatalf("paths diverge: %+v vs %+v", viaChan, viaPull)
+	}
+
+	// Program panic surfaces identically.
+	bomber := func(e *Env) { e.Stay(); panic("boom") }
+	_, errChan := Run(Config{Graph: g, StartA: 0, StartB: 7, MaxRounds: 10}, bomber, stayer)
+	_, errPull := RunSteppers(Config{Graph: g, StartA: 0, StartB: 7, MaxRounds: 10}, NewProgramStepper(bomber), NewProgramStepper(stayer))
+	if errChan == nil || errPull == nil {
+		t.Fatalf("panic lost: chan=%v pull=%v", errChan, errPull)
+	}
+	if !strings.Contains(errPull.Error(), "boom") || errChan.Error() != errPull.Error() {
+		t.Fatalf("panic errors differ: %q vs %q", errChan, errPull)
+	}
+
+	// Early return / Halt land on the same round.
+	quitter := func(e *Env) { e.Stay(); e.Stay() }
+	rc, err := Run(Config{Graph: g, StartA: 0, StartB: 7, MaxRounds: 100}, quitter, quitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := RunSteppers(Config{Graph: g, StartA: 0, StartB: 7, MaxRounds: 100}, NewProgramStepper(quitter), NewProgramStepper(quitter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(rc, rp) {
+		t.Fatalf("halt timing diverges: %+v vs %+v", rc, rp)
+	}
+}
+
+// Property: arbitrary seeds agree between the two Program transports,
+// including whiteboard traffic.
+func TestProgramStepperEquivalenceProperty(t *testing.T) {
+	g := mustComplete(t, 9)
+	mkChaotic := func() Program {
+		return func(e *Env) {
+			r := e.Rand()
+			for {
+				switch r.IntN(5) {
+				case 0:
+					e.Stay()
+				case 1:
+					e.StayFor(1 + int64(r.IntN(5)))
+				case 2, 3:
+					if err := e.MoveToPort(r.IntN(e.Degree())); err != nil {
+						panic(err)
+					}
+				case 4:
+					if err := e.WriteWhiteboard(int64(r.IntN(50))); err != nil {
+						panic(err)
+					}
+					e.Stay()
+				}
+			}
+		}
+	}
+	check := func(seed uint64) bool {
+		cfg := Config{
+			Graph: g, StartA: 3, StartB: 6,
+			NeighborIDs: true, Whiteboards: true,
+			Seed: seed, MaxRounds: 300, DisableMeeting: true,
+		}
+		rc, err1 := Run(cfg, mkChaotic(), mkChaotic())
+		rp, err2 := RunSteppers(cfg, NewProgramStepper(mkChaotic()), NewProgramStepper(mkChaotic()))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return resultsEqual(rc, rp)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A TrialContext reused across many runs must give exactly the
+// results of fresh contexts — scratch reuse is invisible.
+func TestTrialContextReuse(t *testing.T) {
+	g := mustComplete(t, 10)
+	tc := NewTrialContext()
+	for seed := uint64(1); seed <= 20; seed++ {
+		cfg := Config{Graph: g, StartA: 0, StartB: 5, Whiteboards: true, Seed: seed, MaxRounds: 100000}
+		reused, err := tc.RunSteppers(cfg, &walkStepper{}, &walkStepper{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := RunSteppers(cfg, &walkStepper{}, &walkStepper{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(reused, fresh) {
+			t.Fatalf("seed %d: reused context diverged: %+v vs %+v", seed, reused, fresh)
+		}
+	}
+}
+
+func TestRunSteppersValidatesConfig(t *testing.T) {
+	g := mustRing(t, 4)
+	if _, err := RunSteppers(Config{Graph: nil}, stayStepper{}, stayStepper{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := RunSteppers(Config{Graph: g, StartA: 0, StartB: 99}, stayStepper{}, stayStepper{}); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+	if _, err := RunSteppers(Config{Graph: g, StartA: 0, StartB: 1}, nil, stayStepper{}); err == nil {
+		t.Error("nil stepper accepted")
+	}
+}
+
+// A stepper returning an out-of-range port aborts the run like a
+// program panic would.
+func TestStepperBadPortErrors(t *testing.T) {
+	g := mustRing(t, 4)
+	bad := &badPortStepper{}
+	_, err := RunSteppers(Config{Graph: g, StartA: 0, StartB: 2, MaxRounds: 5}, bad, stayStepper{})
+	if err == nil || !strings.Contains(err.Error(), "port") {
+		t.Fatalf("err = %v, want port error", err)
+	}
+}
+
+type badPortStepper struct{}
+
+func (badPortStepper) Init(*StepContext) {}
+
+func (badPortStepper) Next(*View) Action { return Move(99) }
+
+// Abort surfaces its error with the agent prefix.
+func TestStepperAbort(t *testing.T) {
+	g := mustRing(t, 4)
+	_, err := RunSteppers(Config{Graph: g, StartA: 0, StartB: 2, MaxRounds: 5},
+		stayStepper{}, &abortStepper{})
+	if err == nil || !strings.Contains(err.Error(), "agent b") || !strings.Contains(err.Error(), "impossible state") {
+		t.Fatalf("err = %v, want agent-b abort", err)
+	}
+}
+
+type abortStepper struct{}
+
+func (abortStepper) Init(*StepContext) {}
+
+func (abortStepper) Next(*View) Action { return Abort(errors.New("impossible state")) }
+
+// Coroutine-hosted programs must be torn down when runs end early
+// (meeting, budget, other agent's panic): the goroutine count stays
+// flat across many abandoned runs.
+func TestProgramStepperNoLeaks(t *testing.T) {
+	g := mustRing(t, 6)
+	before := goruntime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		// idWalker meets the stayer mid-program, so the walker's
+		// coroutine is abandoned mid-run every time.
+		_, err := RunSteppers(Config{Graph: g, StartA: 0, StartB: 3, NeighborIDs: true, MaxRounds: 100, Seed: uint64(i)},
+			NewProgramStepper(idWalker), NewProgramStepper(stayer))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	goruntime.GC()
+	after := goruntime.NumGoroutine()
+	if after > before+4 {
+		t.Fatalf("goroutines grew from %d to %d across 200 runs", before, after)
+	}
+}
+
+// StayFor actions below one round are clamped: a Stepper cannot act
+// without consuming a round (unlike Env.StayFor's no-op).
+func TestStepperStayForClamped(t *testing.T) {
+	g := mustRing(t, 4)
+	res, err := RunSteppers(Config{Graph: g, StartA: 0, StartB: 2, MaxRounds: 7},
+		&zeroStayStepper{}, stayStepper{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.A.Stays != 7 {
+		t.Fatalf("stays = %d, want 7 one-round stays", res.A.Stays)
+	}
+}
+
+type zeroStayStepper struct{}
+
+func (zeroStayStepper) Init(*StepContext) {}
+
+func (zeroStayStepper) Next(*View) Action { return StayFor(-3) }
+
+func TestViewPortOfID(t *testing.T) {
+	v := &View{NeighborIDs: []int64{10, 20, 30}}
+	if p, ok := v.PortOfID(20); !ok || p != 1 {
+		t.Fatalf("PortOfID(20) = %d, %v", p, ok)
+	}
+	if _, ok := v.PortOfID(99); ok {
+		t.Fatal("missing ID reported present")
+	}
+	if _, ok := (&View{}).PortOfID(1); ok {
+		t.Fatal("KT0 view reported a port")
+	}
+}
