@@ -8,12 +8,19 @@
 // deterministic; only the *_elapsed_ms fields vary between machines
 // and runs.
 //
+// In addition to the reference batch the report carries a large
+// scaling preset (default PlantedMinDegree(65536, 256), 20 whiteboard
+// trials) — the datapoint that tracks whether graph generation and the
+// trial engine keep scaling past laptop n. Graph generation is timed
+// for both presets (gen_elapsed_ms).
+//
 // Usage:
 //
 //	benchengine              # writes BENCH_engine.json in the cwd
 //	benchengine -o out.json
 //	benchengine -trials 500 -parallel 8
-//	benchengine -cpuprofile cpu.pprof   # profile the timed runs
+//	benchengine -large=false             # skip the n=65536 preset
+//	benchengine -cpuprofile cpu.pprof    # profile the timed runs
 package main
 
 import (
@@ -48,14 +55,43 @@ type batchReport struct {
 	StepperSpeedup float64 `json:"stepper_speedup"`
 }
 
+// largeBatchReport times one large-preset batch: the stepper fast
+// path in parallel and serially. The goroutine-backed Program path is
+// not re-timed at this scale — the reference batches above already
+// track that ratio, and the differential suite proves the paths
+// byte-identical.
+type largeBatchReport struct {
+	Aggregate *fnr.Aggregate `json:"aggregate"`
+	// ElapsedMS is wall-clock at the configured worker count.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// StepperElapsedMS is wall-clock at one worker.
+	StepperElapsedMS int64 `json:"stepper_elapsed_ms"`
+}
+
+// largeReport is the n=65536 scaling preset: generation cost plus one
+// whiteboard batch.
+type largeReport struct {
+	N       int    `json:"n"`
+	D       int    `json:"d"`
+	Trials  int    `json:"trials"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	// GenElapsedMS is wall-clock for generating the preset's graph.
+	GenElapsedMS int64                       `json:"gen_elapsed_ms"`
+	Batches      map[string]largeBatchReport `json:"batches"`
+}
+
 type report struct {
-	N          int                    `json:"n"`
-	D          int                    `json:"d"`
-	Trials     int                    `json:"trials"`
-	Seed       uint64                 `json:"seed"`
-	Workers    int                    `json:"workers"`
-	GOMAXPROCS int                    `json:"gomaxprocs"`
-	Batches    map[string]batchReport `json:"batches"`
+	N          int    `json:"n"`
+	D          int    `json:"d"`
+	Trials     int    `json:"trials"`
+	Seed       uint64 `json:"seed"`
+	Workers    int    `json:"workers"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// GenElapsedMS is wall-clock for generating the reference graph.
+	GenElapsedMS int64                  `json:"gen_elapsed_ms"`
+	Batches      map[string]batchReport `json:"batches"`
+	Large        *largeReport           `json:"large,omitempty"`
 }
 
 // timedRun executes the batch and returns its aggregate with
@@ -69,17 +105,40 @@ func timedRun(b fnr.Batch) (*fnr.Aggregate, int64) {
 	return agg, max(time.Since(start).Milliseconds(), 1)
 }
 
+// genWorkload reproduces the fixed workload derivation: the planted
+// graph from PCG(seed, 0xbe7c4) plus an adjacent start pair from the
+// same stream. Returns the graph, the pair, and the generation time.
+func genWorkload(n, d int, seed uint64) (*fnr.Graph, fnr.Vertex, fnr.Vertex, int64) {
+	rng := rand.New(rand.NewPCG(seed, 0xbe7c4))
+	start := time.Now()
+	g, err := fnr.PlantedMinDegree(n, d, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	genMS := max(time.Since(start).Milliseconds(), 1)
+	sa := fnr.Vertex(rng.IntN(g.N()))
+	for g.Degree(sa) == 0 {
+		sa = fnr.Vertex(rng.IntN(g.N()))
+	}
+	sb := g.Adj(sa)[rng.IntN(g.Degree(sa))]
+	return g, sa, sb, genMS
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchengine: ")
 	var (
-		out        = flag.String("o", "BENCH_engine.json", "output path")
-		n          = flag.Int("n", 1024, "graph size")
-		d          = flag.Int("d", 181, "planted minimum degree")
-		trials     = flag.Int("trials", 200, "trials per batch")
-		seed       = flag.Uint64("seed", 7, "batch seed (also the graph seed)")
-		parallel   = flag.Int("parallel", 0, "worker count for the timed run (0 = GOMAXPROCS)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
+		out         = flag.String("o", "BENCH_engine.json", "output path")
+		n           = flag.Int("n", 1024, "graph size")
+		d           = flag.Int("d", 181, "planted minimum degree")
+		trials      = flag.Int("trials", 200, "trials per batch")
+		seed        = flag.Uint64("seed", 7, "batch seed (also the graph seed)")
+		parallel    = flag.Int("parallel", 0, "worker count for the timed run (0 = GOMAXPROCS)")
+		large       = flag.Bool("large", true, "also run the large scaling preset")
+		largeN      = flag.Int("large-n", 65536, "large preset graph size")
+		largeD      = flag.Int("large-d", 256, "large preset planted minimum degree")
+		largeTrials = flag.Int("large-trials", 20, "large preset trials")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
 	)
 	flag.Parse()
 
@@ -87,16 +146,16 @@ func main() {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	rng := rand.New(rand.NewPCG(*seed, 0xbe7c4))
-	g, err := fnr.PlantedMinDegree(*n, *d, rng)
-	if err != nil {
-		log.Fatal(err)
+	g, sa, sb, genMS := genWorkload(*n, *d, *seed)
+	// Generate the large workload before the CPU profile starts too:
+	// the profile covers only the timed engine runs, and at n=65536
+	// generation would otherwise dominate every sample.
+	var lg *fnr.Graph
+	var lsa, lsb fnr.Vertex
+	var lGenMS int64
+	if *large {
+		lg, lsa, lsb, lGenMS = genWorkload(*largeN, *largeD, *seed)
 	}
-	sa := fnr.Vertex(rng.IntN(g.N()))
-	for g.Degree(sa) == 0 {
-		sa = fnr.Vertex(rng.IntN(g.N()))
-	}
-	sb := g.Adj(sa)[rng.IntN(g.Degree(sa))]
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -113,7 +172,8 @@ func main() {
 	rep := report{
 		N: *n, D: *d, Trials: *trials, Seed: *seed,
 		Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Batches: map[string]batchReport{},
+		GenElapsedMS: genMS,
+		Batches:      map[string]batchReport{},
 	}
 	for _, name := range []string{"whiteboard", "sweep"} {
 		batch := fnr.Batch{
@@ -149,6 +209,38 @@ func main() {
 		}
 	}
 
+	if *large {
+		lrep := &largeReport{
+			N: *largeN, D: *largeD, Trials: *largeTrials, Seed: *seed,
+			Workers: workers, GenElapsedMS: lGenMS,
+			Batches: map[string]largeBatchReport{},
+		}
+		for _, name := range []string{"whiteboard"} {
+			batch := fnr.Batch{
+				Graph:     lg,
+				StartA:    lsa,
+				StartB:    lsb,
+				Algorithm: name,
+				Delta:     lg.MinDegree(),
+				Trials:    *largeTrials,
+				Seed:      *seed,
+				Workers:   workers,
+			}
+			agg, elapsed := timedRun(batch)
+			batch.Workers = 1
+			stepperAgg, stepperElapsed := timedRun(batch)
+			if *stepperAgg != *agg {
+				log.Fatalf("large %s: aggregates differ across worker counts — engine determinism broken", name)
+			}
+			lrep.Batches[name] = largeBatchReport{
+				Aggregate:        agg,
+				ElapsedMS:        elapsed,
+				StepperElapsedMS: stepperElapsed,
+			}
+		}
+		rep.Large = lrep
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -162,10 +254,18 @@ func main() {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("gen n=%d d=%d: %dms", *n, *d, rep.GenElapsedMS)
 	for _, name := range []string{"whiteboard", "sweep"} {
 		b := rep.Batches[name]
 		log.Printf("%s: stepper %dms vs goroutine %dms serial (%.1fx), %dms at %d workers",
 			name, b.StepperElapsedMS, b.SerialElapsedMS, b.StepperSpeedup, b.ElapsedMS, workers)
+	}
+	if rep.Large != nil {
+		log.Printf("large gen n=%d d=%d: %dms", rep.Large.N, rep.Large.D, rep.Large.GenElapsedMS)
+		for name, b := range rep.Large.Batches {
+			log.Printf("large %s: %d trials, stepper %dms at 1 worker, %dms at %d workers",
+				name, rep.Large.Trials, b.StepperElapsedMS, b.ElapsedMS, workers)
+		}
 	}
 	log.Printf("wrote %s", *out)
 }

@@ -114,6 +114,7 @@ var (
 	Torus            = graph.Torus
 	Hypercube        = graph.Hypercube
 	GNP              = graph.GNP
+	GNPExact         = graph.GNPExact
 	PlantedMinDegree = graph.PlantedMinDegree
 	RandomRegular    = graph.RandomRegular
 	BFSDistances     = graph.BFSDistances

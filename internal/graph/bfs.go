@@ -8,12 +8,11 @@ func BFSDistances(g *Graph, src Vertex) []int32 {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := make([]Vertex, 0, g.N())
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range g.adj[v] {
+	queue := make([]Vertex, 1, g.N())
+	queue[0] = src
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.Adj(v) {
 			if dist[w] < 0 {
 				dist[w] = dist[v] + 1
 				queue = append(queue, w)

@@ -3,36 +3,110 @@ package graph
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 )
+
+// adjTailCap bounds the unsorted tail of an adjSet: membership tests
+// scan at most this many entries linearly before the binary search.
+const adjTailCap = 32
+
+// adjSet is one vertex's edge-membership set inside a Builder: a
+// sorted array with a small unsorted insertion tail, promoted to a
+// bitset once the vertex is dense enough that the bitset costs no more
+// memory than the list (degree > n/64). Lookups are allocation-free:
+// O(log d + adjTailCap) in list form, O(1) in bitset form.
+type adjSet struct {
+	sorted []Vertex // ascending
+	tail   []Vertex // recent inserts, ≤ adjTailCap, unsorted
+	bits   []uint64 // non-nil once promoted; then authoritative
+}
+
+func (s *adjSet) has(w Vertex) bool {
+	if s.bits != nil {
+		return s.bits[uint32(w)>>6]&(1<<(uint32(w)&63)) != 0
+	}
+	if _, ok := slices.BinarySearch(s.sorted, w); ok {
+		return true
+	}
+	return slices.Contains(s.tail, w)
+}
+
+func (s *adjSet) add(w Vertex) {
+	if s.bits != nil {
+		s.bits[uint32(w)>>6] |= 1 << (uint32(w) & 63)
+		return
+	}
+	s.tail = append(s.tail, w)
+	if len(s.tail) >= adjTailCap {
+		s.flush()
+	}
+}
+
+// flush merges the sorted tail into the sorted prefix in place
+// (backward merge into grown capacity), leaving the tail empty.
+func (s *adjSet) flush() {
+	if len(s.tail) == 0 {
+		return
+	}
+	slices.Sort(s.tail)
+	na, nb := len(s.sorted), len(s.tail)
+	s.sorted = slices.Grow(s.sorted, nb)[:na+nb]
+	i, j, k := na-1, nb-1, na+nb-1
+	for j >= 0 {
+		if i >= 0 && s.sorted[i] > s.tail[j] {
+			s.sorted[k] = s.sorted[i]
+			i--
+		} else {
+			s.sorted[k] = s.tail[j]
+			j--
+		}
+		k--
+	}
+	s.tail = s.tail[:0]
+}
+
+// promote switches the set to bitset form over an n-vertex index space.
+func (s *adjSet) promote(n int, members []Vertex) {
+	s.bits = make([]uint64, (n+63)/64)
+	for _, w := range members {
+		s.bits[uint32(w)>>6] |= 1 << (uint32(w) & 63)
+	}
+	s.sorted, s.tail = nil, nil
+}
+
+// reset empties the set, retaining allocated capacity where possible.
+func (s *adjSet) reset() {
+	s.sorted = s.sorted[:0]
+	s.tail = s.tail[:0]
+	s.bits = nil
+}
 
 // Builder assembles a graph incrementally. Edges are appended to both
 // endpoints' adjacency lists in call order, which defines the port
 // numbering. IDs default to the tight assignment ids[v] = v; override
 // with SetID or one of the relabeling helpers before Build.
+//
+// Edge dedup uses per-vertex sorted adjacency (with a bitset upgrade
+// for dense vertices) instead of a global hash set, so HasEdge is
+// allocation-free and generation never touches a map on its hot path.
 type Builder struct {
-	ids    []int64
-	adj    [][]Vertex
-	seen   map[edgeKey]struct{}
-	nPrime int64
-}
-
-type edgeKey uint64
-
-func keyOf(u, v Vertex) edgeKey {
-	if u > v {
-		u, v = v, u
-	}
-	return edgeKey(uint64(uint32(u))<<32 | uint64(uint32(v)))
+	ids       []int64
+	adj       [][]Vertex // port order
+	seen      []adjSet   // per-vertex membership, parallel to adj
+	nPrime    int64
+	edges     int
+	bitsetDeg int // promote a vertex's adjSet to bitset at this degree
 }
 
 // NewBuilder returns a builder for a graph on n vertices with tight IDs
 // (ids[v] = v, n' = n) until changed.
 func NewBuilder(n int) *Builder {
 	b := &Builder{
-		ids:    make([]int64, n),
-		adj:    make([][]Vertex, n),
-		seen:   make(map[edgeKey]struct{}),
-		nPrime: int64(n),
+		ids:       make([]int64, n),
+		adj:       make([][]Vertex, n),
+		seen:      make([]adjSet, n),
+		nPrime:    int64(n),
+		bitsetDeg: max(64, n/64),
 	}
 	for v := range b.ids {
 		b.ids[v] = int64(v)
@@ -43,6 +117,9 @@ func NewBuilder(n int) *Builder {
 // N returns the number of vertices under construction.
 func (b *Builder) N() int { return len(b.ids) }
 
+// M returns the number of edges added so far.
+func (b *Builder) M() int { return b.edges }
+
 // SetID assigns identifier id to vertex v. Uniqueness and range are
 // checked at Build time.
 func (b *Builder) SetID(v Vertex, id int64) { b.ids[v] = id }
@@ -51,14 +128,32 @@ func (b *Builder) SetID(v Vertex, id int64) { b.ids[v] = id }
 // outside [0, n').
 func (b *Builder) SetNPrime(nPrime int64) { b.nPrime = nPrime }
 
-// HasEdge reports whether the edge u-v has been added.
+// HasEdge reports whether the edge u-v has been added. It checks the
+// smaller endpoint's set: O(log min(deg(u), deg(v))) in list form,
+// O(1) once either endpoint is bitset-promoted; never allocates.
 func (b *Builder) HasEdge(u, v Vertex) bool {
-	_, ok := b.seen[keyOf(u, v)]
-	return ok
+	if n := Vertex(len(b.ids)); u < 0 || v < 0 || u >= n || v >= n {
+		return false
+	}
+	if b.seen[u].bits != nil || (b.seen[v].bits == nil && len(b.adj[u]) <= len(b.adj[v])) {
+		return b.seen[u].has(v)
+	}
+	return b.seen[v].has(u)
 }
 
 // Degree returns the current degree of v.
 func (b *Builder) Degree(v Vertex) int { return len(b.adj[v]) }
+
+// addHalf appends w to v's adjacency and membership structures.
+func (b *Builder) addHalf(v, w Vertex) {
+	b.adj[v] = append(b.adj[v], w)
+	s := &b.seen[v]
+	if s.bits == nil && len(b.adj[v]) >= b.bitsetDeg {
+		s.promote(len(b.ids), b.adj[v])
+		return
+	}
+	s.add(w)
+}
 
 // AddEdge adds the undirected edge u-v. It returns an error on
 // self-loops, out-of-range endpoints, or duplicate edges.
@@ -70,14 +165,19 @@ func (b *Builder) AddEdge(u, v Vertex) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop at %d", u)
 	}
-	k := keyOf(u, v)
-	if _, dup := b.seen[k]; dup {
+	if b.HasEdge(u, v) {
 		return fmt.Errorf("graph: duplicate edge %d-%d", u, v)
 	}
-	b.seen[k] = struct{}{}
-	b.adj[u] = append(b.adj[u], v)
-	b.adj[v] = append(b.adj[v], u)
+	b.addKnownNew(u, v)
 	return nil
+}
+
+// addKnownNew adds u-v without the duplicate/range checks — the fast
+// path for generators whose edges are distinct by construction.
+func (b *Builder) addKnownNew(u, v Vertex) {
+	b.addHalf(u, v)
+	b.addHalf(v, u)
+	b.edges++
 }
 
 // MustAddEdge is AddEdge for generator code where the edge is known
@@ -85,6 +185,33 @@ func (b *Builder) AddEdge(u, v Vertex) error {
 func (b *Builder) MustAddEdge(u, v Vertex) {
 	if err := b.AddEdge(u, v); err != nil {
 		panic(err)
+	}
+}
+
+// Reset removes every edge while keeping the vertex count, IDs, n',
+// and — crucially for retrying generators — the per-vertex slice
+// capacity already grown, so a restart adds no fresh allocations.
+func (b *Builder) Reset() {
+	for v := range b.adj {
+		b.adj[v] = b.adj[v][:0]
+		b.seen[v].reset()
+	}
+	b.edges = 0
+}
+
+// Grow pre-allocates every vertex's adjacency list for the given
+// expected degree — a capacity hint for generators that know their
+// degree profile up front.
+func (b *Builder) Grow(deg int) {
+	if deg <= 0 {
+		return
+	}
+	for v := range b.adj {
+		if cap(b.adj[v]) < deg {
+			next := make([]Vertex, len(b.adj[v]), deg)
+			copy(next, b.adj[v])
+			b.adj[v] = next
+		}
 	}
 }
 
@@ -99,9 +226,19 @@ func (b *Builder) ShufflePorts(rng *rand.Rand) {
 }
 
 // Build finalizes the graph. The builder remains usable (the structure
-// is copied out).
+// is copied out into the graph's flat CSR arrays). Edge invariants
+// hold by construction (AddEdge enforces them), so Build only has to
+// check the ID assignment.
 func (b *Builder) Build() (*Graph, error) {
-	return FromAdjacency(b.ids, b.adj, b.nPrime)
+	if err := validateIDs(b.ids, b.nPrime); err != nil {
+		return nil, err
+	}
+	g := &Graph{ids: slices.Clone(b.ids), nPrime: b.nPrime}
+	if err := g.setRows(b.adj); err != nil {
+		return nil, err
+	}
+	g.buildDerived()
+	return g, nil
 }
 
 // MustBuild is Build for generator code where the construction is known
@@ -132,7 +269,7 @@ func Rebuild(g *Graph) *Builder {
 	for v := Vertex(0); int(v) < g.N(); v++ {
 		for _, w := range g.Adj(v) {
 			if v < w {
-				b.MustAddEdge(v, w)
+				b.addKnownNew(v, w)
 			}
 		}
 	}

@@ -17,13 +17,28 @@
 // mapping P̂_v. Whether agents may translate ports to neighbor IDs (the
 // accessible mapping P_v equals P̂_v, the KT1-style assumption) is a
 // property of the simulation, not of the graph.
+//
+// # Memory layout
+//
+// A Graph stores its adjacency structure in compressed sparse row
+// (CSR) form: a single offsets array of n+1 cursors into flat backing
+// arrays holding all 2m arcs contiguously. Five parallel per-arc
+// arrays share the one offsets table — the port-ordered neighbor
+// indices (Adj), the per-vertex ascending neighbor indices (HasEdge),
+// the port-ordered neighbor IDs (NeighborIDList), and the per-vertex
+// ID-sorted (ID, port) index (PortOfID). Adj and NeighborIDList
+// therefore return zero-copy subslices of contiguous memory, per-round
+// accesses walk cache lines instead of chasing per-vertex slice
+// headers, and a 65k-vertex δ=√n graph is a handful of flat arrays
+// rather than hundreds of thousands of small allocations.
 package graph
 
 import (
-	"cmp"
 	"errors"
 	"fmt"
+	"math"
 	"slices"
+	"sort"
 )
 
 // Vertex is a dense internal vertex index in [0, N).
@@ -39,16 +54,19 @@ const NoID int64 = -1
 // and a fixed port numbering. Construct one with a Builder or one of the
 // generators; a zero Graph is empty and unusable.
 type Graph struct {
-	ids    []int64          // index -> identifier
-	byID   map[int64]Vertex // identifier -> index
-	adj    [][]Vertex       // adj[v][p] = neighbor of v behind port p
-	sorted [][]Vertex       // per-vertex sorted adjacency, for HasEdge
-	nbrIDs [][]int64        // nbrIDs[v][p] = ID(adj[v][p]), one flat backing array
-	// Per-vertex ID->port index: idSorted[v] holds v's neighbor IDs
-	// ascending, idPort[v] the matching ports, so PortOfID is a
-	// binary search instead of an O(deg) scan.
-	idSorted [][]int64
-	idPort   [][]int32
+	ids  []int64          // index -> identifier
+	byID map[int64]Vertex // identifier -> index
+	// CSR adjacency: vertex v's arcs live at positions
+	// [offsets[v], offsets[v+1]) of every flat per-arc array below.
+	offsets []int32
+	nbrs    []Vertex // port order: nbrs[offsets[v]+p] = neighbor of v behind port p
+	sorted  []Vertex // per-vertex ascending, for HasEdge binary search
+	nbrIDs  []int64  // port order: nbrIDs[offsets[v]+p] = ID(nbrs[offsets[v]+p])
+	// Per-vertex ID->port index: idSorted holds v's neighbor IDs
+	// ascending, idPort the matching ports, so PortOfID is a binary
+	// search instead of an O(deg) scan.
+	idSorted []int64
+	idPort   []int32
 	nPrime   int64 // ID-space bound n' (all IDs are in [0, n'))
 	minDeg   int
 	maxDeg   int
@@ -80,30 +98,40 @@ func (g *Graph) VertexByID(id int64) (Vertex, bool) {
 }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v Vertex) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v Vertex) int { return int(g.offsets[v+1] - g.offsets[v]) }
 
 // Neighbor returns the neighbor of v behind local port p.
-func (g *Graph) Neighbor(v Vertex, p int) Vertex { return g.adj[v][p] }
+func (g *Graph) Neighbor(v Vertex, p int) Vertex { return g.nbrs[int(g.offsets[v])+p] }
 
-// Adj returns the adjacency list of v in port order. The returned slice
-// is shared with the graph and must not be modified; use Neighbors for
-// an owned copy.
-func (g *Graph) Adj(v Vertex) []Vertex { return g.adj[v] }
+// Adj returns the adjacency list of v in port order: a zero-copy
+// subslice of the graph's flat arc array. The returned slice is shared
+// with the graph and must not be modified; use Neighbors for an owned
+// copy.
+func (g *Graph) Adj(v Vertex) []Vertex {
+	return g.nbrs[g.offsets[v]:g.offsets[v+1]:g.offsets[v+1]]
+}
+
+// sortedAdj returns v's neighbors in ascending vertex order (shared,
+// read-only).
+func (g *Graph) sortedAdj(v Vertex) []Vertex {
+	return g.sorted[g.offsets[v]:g.offsets[v+1]]
+}
 
 // Neighbors returns a copy of the adjacency list of v in port order.
 func (g *Graph) Neighbors(v Vertex) []Vertex {
-	return slices.Clone(g.adj[v])
+	return slices.Clone(g.Adj(v))
 }
 
-// HasEdge reports whether u and v are adjacent.
+// HasEdge reports whether u and v are adjacent. It binary-searches the
+// smaller endpoint's sorted neighbor run: O(log min(deg(u), deg(v))),
+// allocation-free.
 func (g *Graph) HasEdge(u, v Vertex) bool {
 	if u == v {
 		return false
 	}
-	// Search the smaller of the two sorted lists.
-	a := g.sorted[u]
-	if len(g.sorted[v]) < len(a) {
-		a, v = g.sorted[v], u
+	a := g.sortedAdj(u)
+	if g.Degree(v) < len(a) {
+		a, v = g.sortedAdj(v), u
 	}
 	_, ok := slices.BinarySearch(a, v)
 	return ok
@@ -112,7 +140,7 @@ func (g *Graph) HasEdge(u, v Vertex) bool {
 // PortTo returns the local port of u leading to v, or -1 if u and v are
 // not adjacent. It runs in O(deg(u)).
 func (g *Graph) PortTo(u, v Vertex) int {
-	for p, w := range g.adj[u] {
+	for p, w := range g.Adj(u) {
 		if w == v {
 			return p
 		}
@@ -123,7 +151,7 @@ func (g *Graph) PortTo(u, v Vertex) int {
 // IDsOfNeighbors appends the identifiers of v's neighbors, in port
 // order, to dst and returns the extended slice.
 func (g *Graph) IDsOfNeighbors(v Vertex, dst []int64) []int64 {
-	return append(dst, g.nbrIDs[v]...)
+	return append(dst, g.NeighborIDList(v)...)
 }
 
 // NeighborIDList returns the identifiers of v's neighbors in port
@@ -131,7 +159,20 @@ func (g *Graph) IDsOfNeighbors(v Vertex, dst []int64) []int64 {
 // per-round fast path for the simulator's views. Callers must treat
 // it as read-only: the graph is immutable and the slice is shared by
 // every concurrent run on it.
-func (g *Graph) NeighborIDList(v Vertex) []int64 { return g.nbrIDs[v] }
+func (g *Graph) NeighborIDList(v Vertex) []int64 {
+	return g.nbrIDs[g.offsets[v]:g.offsets[v+1]:g.offsets[v+1]]
+}
+
+// PortOfID returns the local port of v leading to the neighbor with
+// the given ID, or -1 if v has no such neighbor. It runs in
+// O(log deg(v)).
+func (g *Graph) PortOfID(v Vertex, id int64) int {
+	s := g.idSorted[g.offsets[v]:g.offsets[v+1]]
+	if i, ok := slices.BinarySearch(s, id); ok {
+		return int(g.idPort[int(g.offsets[v])+i])
+	}
+	return -1
+}
 
 // Validate checks the structural invariants of the graph: symmetric
 // adjacency, no self-loops, no parallel edges, distinct in-range IDs.
@@ -139,37 +180,29 @@ func (g *Graph) NeighborIDList(v Vertex) []int64 { return g.nbrIDs[v] }
 // method exists for graphs decoded from untrusted input and for tests.
 func (g *Graph) Validate() error {
 	n := g.N()
-	if int64(n) > g.nPrime {
-		return fmt.Errorf("graph: n=%d exceeds ID space n'=%d", n, g.nPrime)
-	}
-	seen := make(map[int64]Vertex, n)
-	for v, id := range g.ids {
-		if id < 0 || id >= g.nPrime {
-			return fmt.Errorf("graph: vertex %d has ID %d outside [0, %d)", v, id, g.nPrime)
-		}
-		if prev, dup := seen[id]; dup {
-			return fmt.Errorf("graph: vertices %d and %d share ID %d", prev, v, id)
-		}
-		seen[id] = Vertex(v)
+	if err := validateIDs(g.ids, g.nPrime); err != nil {
+		return err
 	}
 	edges := 0
-	for v := range g.adj {
-		local := make(map[Vertex]struct{}, len(g.adj[v]))
-		for _, w := range g.adj[v] {
-			if w == Vertex(v) {
+	for v := Vertex(0); int(v) < n; v++ {
+		for _, w := range g.Adj(v) {
+			if w == v {
 				return fmt.Errorf("graph: self-loop at vertex %d", v)
 			}
 			if int(w) < 0 || int(w) >= n {
 				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
 			}
-			if _, dup := local[w]; dup {
-				return fmt.Errorf("graph: parallel edge %d-%d", v, w)
-			}
-			local[w] = struct{}{}
-			if !g.HasEdge(w, Vertex(v)) {
+			if !g.HasEdge(w, v) {
 				return fmt.Errorf("graph: edge %d-%d is not symmetric", v, w)
 			}
 			edges++
+		}
+		// Parallel edges are adjacent duplicates in the sorted run.
+		s := g.sortedAdj(v)
+		for i := 1; i < len(s); i++ {
+			if s[i] == s[i-1] {
+				return fmt.Errorf("graph: parallel edge %d-%d", v, s[i])
+			}
 		}
 	}
 	if edges%2 != 0 {
@@ -181,24 +214,74 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// finish computes the derived fields of a graph whose ids, adj and
-// nPrime fields are populated.
-func (g *Graph) finish() {
+// validateIDs checks that ids are distinct and lie in [0, nPrime).
+func validateIDs(ids []int64, nPrime int64) error {
+	if int64(len(ids)) > nPrime {
+		return fmt.Errorf("graph: n=%d exceeds ID space n'=%d", len(ids), nPrime)
+	}
+	seen := make(map[int64]Vertex, len(ids))
+	for v, id := range ids {
+		if id < 0 || id >= nPrime {
+			return fmt.Errorf("graph: vertex %d has ID %d outside [0, %d)", v, id, nPrime)
+		}
+		if prev, dup := seen[id]; dup {
+			return fmt.Errorf("graph: vertices %d and %d share ID %d", prev, v, id)
+		}
+		seen[id] = Vertex(v)
+	}
+	return nil
+}
+
+// setRows fills the CSR offsets and port-ordered neighbor array from
+// per-vertex rows. Rows are copied; out-of-range entries are preserved
+// verbatim (Validate reports them). It fails loudly if the arc count
+// overflows the int32 offset space rather than truncating silently.
+func (g *Graph) setRows(rows [][]Vertex) error {
+	n := len(rows)
+	arcs := 0
+	for _, row := range rows {
+		arcs += len(row)
+	}
+	if int64(arcs) > math.MaxInt32 {
+		return fmt.Errorf("graph: %d arcs overflow the int32 CSR offset space", arcs)
+	}
+	g.offsets = make([]int32, n+1)
+	g.nbrs = make([]Vertex, 0, arcs)
+	for v, row := range rows {
+		g.offsets[v] = int32(len(g.nbrs))
+		g.nbrs = append(g.nbrs, row...)
+	}
+	g.offsets[n] = int32(len(g.nbrs))
+	return nil
+}
+
+// idPortSorter sorts a vertex's (neighbor ID, port) pairs by ID.
+type idPortSorter struct {
+	ids   []int64
+	ports []int32
+}
+
+func (s idPortSorter) Len() int           { return len(s.ids) }
+func (s idPortSorter) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s idPortSorter) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.ports[i], s.ports[j] = s.ports[j], s.ports[i]
+}
+
+// buildDerived computes every derived field of a graph whose ids,
+// offsets, nbrs and nPrime fields are populated: the ID map, degree
+// extremes and edge count, and the three remaining flat per-arc arrays
+// (sorted adjacency, neighbor IDs, ID->port index).
+func (g *Graph) buildDerived() {
 	n := len(g.ids)
+	arcs := len(g.nbrs)
 	g.byID = make(map[int64]Vertex, n)
 	for v, id := range g.ids {
 		g.byID[id] = Vertex(v)
 	}
-	g.sorted = make([][]Vertex, n)
-	g.minDeg = 0
-	g.maxDeg = 0
-	g.edges = 0
-	for v := range g.adj {
-		s := slices.Clone(g.adj[v])
-		slices.Sort(s)
-		g.sorted[v] = s
-		d := len(s)
-		g.edges += d
+	g.minDeg, g.maxDeg = 0, 0
+	for v := Vertex(0); int(v) < n; v++ {
+		d := g.Degree(v)
 		if v == 0 || d < g.minDeg {
 			g.minDeg = d
 		}
@@ -206,76 +289,54 @@ func (g *Graph) finish() {
 			g.maxDeg = d
 		}
 	}
-	g.edges /= 2
-	// Precompute the per-vertex neighbor-ID lists (port order) into
-	// one flat backing array, so simulator views need no per-round
-	// ID translation.
-	flat := make([]int64, 0, 2*g.edges)
-	g.nbrIDs = make([][]int64, n)
-	for v := range g.adj {
-		start := len(flat)
-		for _, w := range g.adj[v] {
-			id := NoID // out-of-range neighbor: left for Validate to report
-			if int(w) >= 0 && int(w) < n {
-				id = g.ids[w]
-			}
-			flat = append(flat, id)
-		}
-		g.nbrIDs[v] = flat[start:len(flat):len(flat)]
-	}
-	// Build the ID->port binary-search index over the same lists.
-	flatIDs := make([]int64, 0, 2*g.edges)
-	flatPorts := make([]int32, 0, 2*g.edges)
-	g.idSorted = make([][]int64, n)
-	g.idPort = make([][]int32, n)
-	for v := range g.adj {
-		d := len(g.adj[v])
-		perm := make([]int32, d)
-		for p := range perm {
-			perm[p] = int32(p)
-		}
-		ids := g.nbrIDs[v]
-		slices.SortFunc(perm, func(a, b int32) int {
-			return cmp.Compare(ids[a], ids[b])
-		})
-		is, ps := len(flatIDs), len(flatPorts)
-		for _, p := range perm {
-			flatIDs = append(flatIDs, ids[p])
-			flatPorts = append(flatPorts, p)
-		}
-		g.idSorted[v] = flatIDs[is:len(flatIDs):len(flatIDs)]
-		g.idPort[v] = flatPorts[ps:len(flatPorts):len(flatPorts)]
-	}
-}
+	g.edges = arcs / 2
 
-// PortOfID returns the local port of v leading to the neighbor with
-// the given ID, or -1 if v has no such neighbor. It runs in
-// O(log deg(v)).
-func (g *Graph) PortOfID(v Vertex, id int64) int {
-	s := g.idSorted[v]
-	if i, ok := slices.BinarySearch(s, id); ok {
-		return int(g.idPort[v][i])
+	// Sorted adjacency: copy the neighbor array once, sort each
+	// vertex's run in place.
+	g.sorted = slices.Clone(g.nbrs)
+	for v := Vertex(0); int(v) < n; v++ {
+		slices.Sort(g.sorted[g.offsets[v]:g.offsets[v+1]])
 	}
-	return -1
+
+	// Port-ordered neighbor IDs (out-of-range neighbors map to NoID and
+	// are left for Validate to report).
+	g.nbrIDs = make([]int64, arcs)
+	for i, w := range g.nbrs {
+		if int(w) >= 0 && int(w) < n {
+			g.nbrIDs[i] = g.ids[w]
+		} else {
+			g.nbrIDs[i] = NoID
+		}
+	}
+
+	// ID->port index: per-vertex copy of the ID run plus the identity
+	// port run, co-sorted by ID.
+	g.idSorted = slices.Clone(g.nbrIDs)
+	g.idPort = make([]int32, arcs)
+	for v := Vertex(0); int(v) < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		run := g.idPort[lo:hi]
+		for p := range run {
+			run[p] = int32(p)
+		}
+		sort.Sort(idPortSorter{ids: g.idSorted[lo:hi], ports: run})
+	}
 }
 
 // FromAdjacency constructs a graph directly from an ID table and an
 // adjacency structure (which fixes the port numbering verbatim). The
-// input slices are cloned. It returns an error if the structure is not
-// a simple undirected graph with distinct IDs in [0, nPrime).
+// input slices are copied into the graph's flat CSR arrays. It returns
+// an error if the structure is not a simple undirected graph with
+// distinct IDs in [0, nPrime).
 func FromAdjacency(ids []int64, adj [][]Vertex, nPrime int64) (*Graph, error) {
 	if len(ids) != len(adj) {
 		return nil, fmt.Errorf("graph: %d IDs for %d adjacency rows", len(ids), len(adj))
 	}
-	g := &Graph{
-		ids:    slices.Clone(ids),
-		adj:    make([][]Vertex, len(adj)),
-		nPrime: nPrime,
+	g := &Graph{ids: slices.Clone(ids), nPrime: nPrime}
+	if err := g.setRows(adj); err != nil {
+		return nil, err
 	}
-	for v := range adj {
-		g.adj[v] = slices.Clone(adj[v])
-	}
-	g.finish()
+	g.buildDerived()
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -285,29 +346,22 @@ func FromAdjacency(ids []int64, adj [][]Vertex, nPrime int64) (*Graph, error) {
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	ng := &Graph{
-		ids:    slices.Clone(g.ids),
-		adj:    make([][]Vertex, len(g.adj)),
-		nPrime: g.nPrime,
+		ids:     slices.Clone(g.ids),
+		offsets: slices.Clone(g.offsets),
+		nbrs:    slices.Clone(g.nbrs),
+		nPrime:  g.nPrime,
 	}
-	for v := range g.adj {
-		ng.adj[v] = slices.Clone(g.adj[v])
-	}
-	ng.finish()
+	ng.buildDerived()
 	return ng
 }
 
 // Equal reports whether g and h have identical vertex IDs, ID-space
 // bounds, and adjacency lists (including port order).
 func (g *Graph) Equal(h *Graph) bool {
-	if g.N() != h.N() || g.nPrime != h.nPrime || !slices.Equal(g.ids, h.ids) {
-		return false
-	}
-	for v := range g.adj {
-		if !slices.Equal(g.adj[v], h.adj[v]) {
-			return false
-		}
-	}
-	return true
+	return g.N() == h.N() && g.nPrime == h.nPrime &&
+		slices.Equal(g.ids, h.ids) &&
+		slices.Equal(g.offsets, h.offsets) &&
+		slices.Equal(g.nbrs, h.nbrs)
 }
 
 // String returns a short human-readable summary, not the full structure.

@@ -42,6 +42,7 @@ func StarCliquePair(arms, cliqueSize int) (g *Graph, centerA, centerB Vertex, er
 	side := 1 + arms*cliqueSize
 	n := 2 * side
 	b := NewBuilder(n)
+	b.Grow(cliqueSize)
 	centerA, centerB = 0, Vertex(side)
 	buildSide := func(center Vertex) {
 		base := center + 1
@@ -77,6 +78,7 @@ func BridgedCliquePair(n int) (g *Graph, a0, b0, x1, x2 Vertex, err error) {
 	}
 	half := n / 2
 	b := NewBuilder(n)
+	b.Grow(half - 1)
 	// C1 on [0, half), C2 on [half, n).
 	a0, x1 = 0, Vertex(half-1)
 	b0, x2 = Vertex(half), Vertex(n-1)
@@ -113,6 +115,7 @@ func TwoCliquesSharing(size int) (g *Graph, cA, cB, x Vertex, err error) {
 	}
 	n := 2*size - 1
 	b := NewBuilder(n)
+	b.Grow(size)
 	// Clique 1 on [0, size); clique 2 on {size-1} ∪ [size, n).
 	x = Vertex(size - 1)
 	for u := 0; u < size; u++ {

@@ -21,42 +21,66 @@ import (
 
 const formatHeader = "fnr-graph v1"
 
-// WriteTo serializes g in the fnr-graph v1 text format.
+// countWriter counts the bytes that actually reach the underlying
+// writer.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes g in the fnr-graph v1 text format. Numbers are
+// appended with strconv into a buffered writer — no per-field fmt
+// call — so serializing multi-million-arc graphs stays cheap.
 func (g *Graph) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var total int64
-	count := func(n int, err error) error {
-		total += int64(n)
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	scratch := make([]byte, 0, 24)
+	writeInt := func(prefix byte, x int64) error {
+		scratch = append(scratch[:0], prefix)
+		scratch = strconv.AppendInt(scratch, x, 10)
+		_, err := bw.Write(scratch)
 		return err
 	}
-	if err := count(fmt.Fprintf(bw, "%s\nn=%d nprime=%d\nids", formatHeader, g.N(), g.nPrime)); err != nil {
-		return total, err
+	if _, err := fmt.Fprintf(bw, "%s\nn=%d nprime=%d\nids", formatHeader, g.N(), g.nPrime); err != nil {
+		return cw.n, err
 	}
 	for _, id := range g.ids {
-		if err := count(fmt.Fprintf(bw, " %d", id)); err != nil {
-			return total, err
+		if err := writeInt(' ', id); err != nil {
+			return cw.n, err
 		}
 	}
-	if err := count(fmt.Fprintln(bw)); err != nil {
-		return total, err
+	if err := bw.WriteByte('\n'); err != nil {
+		return cw.n, err
 	}
-	for v := range g.adj {
-		if err := count(fmt.Fprintf(bw, "adj %d", v)); err != nil {
-			return total, err
+	for v := Vertex(0); int(v) < g.N(); v++ {
+		if _, err := bw.WriteString("adj"); err != nil {
+			return cw.n, err
 		}
-		for _, u := range g.adj[v] {
-			if err := count(fmt.Fprintf(bw, " %d", u)); err != nil {
-				return total, err
+		if err := writeInt(' ', int64(v)); err != nil {
+			return cw.n, err
+		}
+		for _, u := range g.Adj(v) {
+			if err := writeInt(' ', int64(u)); err != nil {
+				return cw.n, err
 			}
 		}
-		if err := count(fmt.Fprintln(bw)); err != nil {
-			return total, err
+		if err := bw.WriteByte('\n'); err != nil {
+			return cw.n, err
 		}
 	}
-	if err := count(fmt.Fprintln(bw, "end")); err != nil {
-		return total, err
+	if _, err := bw.WriteString("end\n"); err != nil {
+		return cw.n, err
 	}
-	return total, bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
 }
 
 // Read parses a graph in the fnr-graph v1 text format and validates it.

@@ -60,13 +60,18 @@ func runE1(cfg Config) (*Table, error) {
 		Claim:   "end-to-end = O(n/δ·log²n + √(n∆/δ)·log n); main phase alone = O(√(n∆/δ)·log n) (Lemma 1)",
 		Columns: []string{"n", "δ", "∆", "met", "e2e median", "Thm1 bound", "e2e/bound", "mainphase median", "L1 bound", "mp/L1"},
 	}
-	var ns, e2eMed, mpMed []float64
-	for _, n := range sizes {
+	specs := make([]workloadSpec, len(sizes))
+	for i, n := range sizes {
 		d := int(math.Round(math.Pow(float64(n), 0.75)))
-		g, sa, sb, err := plantedWorkload(n, d, uint64(n))
-		if err != nil {
-			return nil, err
-		}
+		specs[i] = workloadSpec{n: n, d: d, seed: uint64(n)}
+	}
+	workloads, err := plantedWorkloads(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	var ns, e2eMed, mpMed []float64
+	for i, n := range sizes {
+		g, sa, sb := workloads[i].g, workloads[i].sa, workloads[i].sb
 		delta := g.MinDegree()
 		bound := theorem1Bound(n, delta, g.MaxDegree())
 		l1 := lemma1Bound(n, delta, g.MaxDegree())
@@ -115,11 +120,16 @@ func runE2(cfg Config) (*Table, error) {
 		Columns: []string{"n", "δ", "∆", "sweep median", "mainphase median", "e2e median", "mp winner", "mp/sweep"},
 	}
 	sqrtNlogN := math.Sqrt(float64(n)) * math.Log(float64(n))
-	for _, d := range deltas {
-		g, sa, sb, err := plantedWorkload(n, d, uint64(n)*31+uint64(d))
-		if err != nil {
-			return nil, err
-		}
+	specs := make([]workloadSpec, len(deltas))
+	for i, d := range deltas {
+		specs[i] = workloadSpec{n: n, d: d, seed: uint64(n)*31 + uint64(d)}
+	}
+	workloads, err := plantedWorkloads(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range deltas {
+		g, sa, sb := workloads[i].g, workloads[i].sa, workloads[i].sb
 		delta := g.MinDegree()
 		bound := theorem1Bound(n, delta, g.MaxDegree())
 		maxRounds := int64(400*bound) + 400_000
@@ -163,17 +173,22 @@ func runE3(cfg Config) (*Table, error) {
 		Claim:   "rounds after t' = O(n/√δ·log²n) w.h.p., using no whiteboards",
 		Columns: []string{"n", "δ", "IDs", "met", "e2e median", "designed met", "designed median−t'", "phase bound", "designed/bound", "overflow"},
 	}
+	specs := make([]workloadSpec, len(sizes))
+	for i, n := range sizes {
+		d := int(math.Round(math.Pow(float64(n), 0.8)))
+		specs[i] = workloadSpec{n: n, d: d, seed: uint64(n) * 7}
+	}
+	workloads, err := plantedWorkloads(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
 	var ns, desMed []float64
 	type labeled struct {
 		name string
 		g    *graph.Graph
 	}
-	for _, n := range sizes {
-		d := int(math.Round(math.Pow(float64(n), 0.8)))
-		g0, sa, sb, err := plantedWorkload(n, d, uint64(n)*7)
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range sizes {
+		g0, sa, sb := workloads[i].g, workloads[i].sa, workloads[i].sb
 		labelings := []labeled{
 			{"uniform", g0},
 			{"adversarial", adversarialRelabel(g0, sb)},

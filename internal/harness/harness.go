@@ -150,6 +150,45 @@ func plantedWorkload(n, d int, seed uint64) (*graph.Graph, graph.Vertex, graph.V
 	return g, u, v, nil
 }
 
+// workloadSpec names one planted scaling workload by its defining
+// parameters.
+type workloadSpec struct {
+	n, d int
+	seed uint64
+}
+
+// workload is one generated scaling instance: the graph plus the
+// chosen adjacent start pair.
+type workload struct {
+	g      *graph.Graph
+	sa, sb graph.Vertex
+}
+
+// plantedWorkloads generates the specs' workload instances in parallel
+// across the engine worker pool. Each instance depends only on its own
+// (n, d, seed) triple, so the fan-out is deterministic — parallelism
+// changes wall-clock time only. Scaling experiments front-load their
+// per-config graph generation through this instead of generating
+// serially inside the measurement loop.
+func plantedWorkloads(cfg Config, specs []workloadSpec) ([]workload, error) {
+	type result struct {
+		w   workload
+		err error
+	}
+	results := engine.Trials(cfg.Workers, len(specs), func(i int) result {
+		g, sa, sb, err := plantedWorkload(specs[i].n, specs[i].d, specs[i].seed)
+		return result{workload{g: g, sa: sa, sb: sb}, err}
+	})
+	out := make([]workload, len(specs))
+	for i, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out[i] = r.w
+	}
+	return out, nil
+}
+
 // runPair executes one bespoke rendezvous trial (custom program
 // pair) and reduces it to an engine.Outcome, matching what batches
 // produce. Errors (experiment programs must not panic) surface as
