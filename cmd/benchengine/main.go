@@ -12,7 +12,9 @@
 // scaling preset (default PlantedMinDegree(65536, 256), 20 whiteboard
 // trials) — the datapoint that tracks whether graph generation and the
 // trial engine keep scaling past laptop n. Graph generation is timed
-// for both presets (gen_elapsed_ms).
+// for both presets (gen_elapsed_ms), as is one serialize→parse round
+// trip per format (io.read_elapsed_ms for binary v2 against
+// io.read_text_elapsed_ms for v1 text).
 //
 // Usage:
 //
@@ -24,6 +26,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"log"
@@ -68,8 +71,8 @@ type largeBatchReport struct {
 	StepperElapsedMS int64 `json:"stepper_elapsed_ms"`
 }
 
-// largeReport is the n=65536 scaling preset: generation cost plus one
-// whiteboard batch.
+// largeReport is the n=65536 scaling preset: generation and
+// serialization costs plus one whiteboard batch.
 type largeReport struct {
 	N       int    `json:"n"`
 	D       int    `json:"d"`
@@ -77,8 +80,31 @@ type largeReport struct {
 	Seed    uint64 `json:"seed"`
 	Workers int    `json:"workers"`
 	// GenElapsedMS is wall-clock for generating the preset's graph.
-	GenElapsedMS int64                       `json:"gen_elapsed_ms"`
-	Batches      map[string]largeBatchReport `json:"batches"`
+	GenElapsedMS int64 `json:"gen_elapsed_ms"`
+	// Serialization round-trip costs (see ioReport).
+	IO      *ioReport                   `json:"io,omitempty"`
+	Batches map[string]largeBatchReport `json:"batches"`
+}
+
+// ioReport times one serialize→parse round trip per format on the
+// preset's graph, in memory. ReadElapsedMS (binary v2) against
+// ReadTextElapsedMS is the datapoint tracking the binary format's
+// parse-cost win; the byte counts track its size win.
+type ioReport struct {
+	// ReadElapsedMS is wall-clock for graph.Read on the v2 binary
+	// serialization.
+	ReadElapsedMS int64 `json:"read_elapsed_ms"`
+	// ReadTextElapsedMS is wall-clock for graph.Read on the v1 text
+	// serialization.
+	ReadTextElapsedMS int64 `json:"read_text_elapsed_ms"`
+	// ReadSpeedup is ReadTextElapsedMS / ReadElapsedMS.
+	ReadSpeedup float64 `json:"read_speedup"`
+	// WriteElapsedMS / WriteTextElapsedMS time the two writers.
+	WriteElapsedMS     int64 `json:"write_elapsed_ms"`
+	WriteTextElapsedMS int64 `json:"write_text_elapsed_ms"`
+	// Bytes / TextBytes are the serialized sizes.
+	Bytes     int `json:"bytes"`
+	TextBytes int `json:"text_bytes"`
 }
 
 type report struct {
@@ -90,8 +116,55 @@ type report struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	// GenElapsedMS is wall-clock for generating the reference graph.
 	GenElapsedMS int64                  `json:"gen_elapsed_ms"`
+	IO           *ioReport              `json:"io,omitempty"`
 	Batches      map[string]batchReport `json:"batches"`
 	Large        *largeReport           `json:"large,omitempty"`
+}
+
+// timeReads serializes g in both formats and times parsing each back,
+// GC-fencing the timed sections so one measurement's garbage does not
+// bill the next.
+func timeReads(g *fnr.Graph) *ioReport {
+	rep := &ioReport{}
+	var bin, text bytes.Buffer
+	start := time.Now()
+	if _, err := g.WriteBinary(&bin); err != nil {
+		log.Fatal(err)
+	}
+	rep.WriteElapsedMS = max(time.Since(start).Milliseconds(), 1)
+	start = time.Now()
+	if _, err := g.WriteTo(&text); err != nil {
+		log.Fatal(err)
+	}
+	rep.WriteTextElapsedMS = max(time.Since(start).Milliseconds(), 1)
+	rep.Bytes, rep.TextBytes = bin.Len(), text.Len()
+	readOne := func(data []byte) int64 {
+		runtime.GC()
+		start := time.Now()
+		h, err := fnr.ReadGraph(bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := max(time.Since(start).Milliseconds(), 1)
+		if !h.Equal(g) {
+			log.Fatal("serialization round trip changed the graph")
+		}
+		return elapsed
+	}
+	// Min of three interleaved reads: a single GC cycle or a noisy-
+	// neighbor stall on a shared host would otherwise bill one format
+	// multiple seconds the other did not pay.
+	for i := 0; i < 3; i++ {
+		binMS, textMS := readOne(bin.Bytes()), readOne(text.Bytes())
+		if i == 0 || binMS < rep.ReadElapsedMS {
+			rep.ReadElapsedMS = binMS
+		}
+		if i == 0 || textMS < rep.ReadTextElapsedMS {
+			rep.ReadTextElapsedMS = textMS
+		}
+	}
+	rep.ReadSpeedup = float64(rep.ReadTextElapsedMS) / float64(rep.ReadElapsedMS)
+	return rep
 }
 
 // timedRun executes the batch and returns its aggregate with
@@ -173,6 +246,7 @@ func main() {
 		N: *n, D: *d, Trials: *trials, Seed: *seed,
 		Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GenElapsedMS: genMS,
+		IO:           timeReads(g),
 		Batches:      map[string]batchReport{},
 	}
 	for _, name := range []string{"whiteboard", "sweep"} {
@@ -213,6 +287,7 @@ func main() {
 		lrep := &largeReport{
 			N: *largeN, D: *largeD, Trials: *largeTrials, Seed: *seed,
 			Workers: workers, GenElapsedMS: lGenMS,
+			IO:      timeReads(lg),
 			Batches: map[string]largeBatchReport{},
 		}
 		for _, name := range []string{"whiteboard"} {
@@ -260,8 +335,12 @@ func main() {
 		log.Printf("%s: stepper %dms vs goroutine %dms serial (%.1fx), %dms at %d workers",
 			name, b.StepperElapsedMS, b.SerialElapsedMS, b.StepperSpeedup, b.ElapsedMS, workers)
 	}
+	log.Printf("read n=%d: binary %dms (%d bytes) vs text %dms (%d bytes), %.1fx",
+		*n, rep.IO.ReadElapsedMS, rep.IO.Bytes, rep.IO.ReadTextElapsedMS, rep.IO.TextBytes, rep.IO.ReadSpeedup)
 	if rep.Large != nil {
 		log.Printf("large gen n=%d d=%d: %dms", rep.Large.N, rep.Large.D, rep.Large.GenElapsedMS)
+		log.Printf("large read: binary %dms (%d bytes) vs text %dms (%d bytes), %.1fx",
+			rep.Large.IO.ReadElapsedMS, rep.Large.IO.Bytes, rep.Large.IO.ReadTextElapsedMS, rep.Large.IO.TextBytes, rep.Large.IO.ReadSpeedup)
 		for name, b := range rep.Large.Batches {
 			log.Printf("large %s: %d trials, stepper %dms at 1 worker, %dms at %d workers",
 				name, rep.Large.Trials, b.StepperElapsedMS, b.ElapsedMS, workers)

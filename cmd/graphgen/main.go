@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	graphgen -type planted -n 1024 -d 181 -o g.fnr   # generate + save
+//	graphgen -type planted -n 1024 -d 181 -o g.fnr   # generate + save (binary v2)
+//	graphgen -type planted -o g.txt -format text      # v1 text (golden files)
 //	graphgen -type twostars -n 514 -stats             # properties only
-//	graphgen -in g.fnr -stats                         # inspect a file
+//	graphgen -in g.fnr -stats                         # inspect a file (either format)
 package main
 
 import (
@@ -27,8 +28,9 @@ func main() {
 		d      = flag.Int("d", 16, "degree parameter")
 		p      = flag.Float64("p", 0.1, "edge probability (gnp)")
 		seed   = flag.Uint64("seed", 1, "generator seed")
-		out    = flag.String("o", "", "write the graph to this file (fnr-graph v1 text format)")
-		in     = flag.String("in", "", "read a graph from this file instead of generating")
+		out    = flag.String("o", "", "write the graph to this file")
+		format = flag.String("format", "binary", "output format: binary (v2) or text (v1); reading auto-detects")
+		in     = flag.String("in", "", "read a graph from this file instead of generating (either format)")
 		stats  = flag.Bool("stats", false, "print structural properties")
 		idMode = flag.String("ids", "tight", "ID assignment: tight|permuted|sparse")
 	)
@@ -62,18 +64,26 @@ func main() {
 		}
 	}
 	if *out != "" {
+		write := (*fnr.Graph).WriteBinary
+		switch *format {
+		case "binary":
+		case "text":
+			write = (*fnr.Graph).WriteTo
+		default:
+			log.Fatalf("unknown format %q (want binary or text)", *format)
+		}
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := g.WriteTo(f); err != nil {
+		if _, err := write(g, f); err != nil {
 			f.Close()
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *out)
+		fmt.Printf("wrote %s (%s)\n", *out, *format)
 	}
 }
 

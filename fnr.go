@@ -79,6 +79,10 @@ type (
 	Stepper = sim.Stepper
 	// StepContext carries the run-constant inputs to a Stepper's Init.
 	StepContext = sim.StepContext
+	// AgentScratch is a per-agent reusable scratch slot on the batch
+	// engine's trial contexts; long-lived strategies can park state
+	// there across trials (see StepContext.Scratch).
+	AgentScratch = sim.AgentScratch
 	// View is the per-round observation handed to a Stepper.
 	View = sim.View
 	// Action is one Stepper decision for one acting round.
@@ -102,9 +106,12 @@ const NoMark = sim.NoMark
 
 // Graph generators, re-exported from the graph substrate.
 var (
-	NewBuilder       = graph.NewBuilder
-	Rebuild          = graph.Rebuild
-	FromAdjacency    = graph.FromAdjacency
+	NewBuilder    = graph.NewBuilder
+	Rebuild       = graph.Rebuild
+	FromAdjacency = graph.FromAdjacency
+	// ReadGraph parses either serialization format (v2 binary or v1
+	// text), auto-detected; Graph.WriteTo writes text, Graph.WriteBinary
+	// writes binary.
 	ReadGraph        = graph.Read
 	Complete         = graph.Complete
 	Ring             = graph.Ring

@@ -54,8 +54,15 @@ func (w *walker) sampleRun(gamma []int64, alpha float64, st *WhiteboardStats) ([
 	}
 	// Counters live at each vertex's position in npHomeL (counts only
 	// ever exist for N+(home)), so the inner loop is one index lookup
-	// and an array bump per observed neighbor.
-	counts := make([]int32, len(w.npHomeL))
+	// and an array bump per observed neighbor. The counter array is
+	// walker scratch: zeroed per call (O(∆), dwarfed by the visits the
+	// call pays for), allocated once per worker.
+	ws := w.s
+	if cap(ws.counts) < len(ws.npHomeL) {
+		ws.counts = make([]int32, len(ws.npHomeL))
+	}
+	counts := ws.counts[:len(ws.npHomeL)]
+	clear(counts)
 	rng := w.e.Rand()
 	for i := 0; i < m; i++ {
 		v := gamma[rng.IntN(len(gamma))]
@@ -70,11 +77,11 @@ func (w *walker) sampleRun(gamma []int64, alpha float64, st *WhiteboardStats) ([
 			return nil, err
 		}
 		self, nbs := w.observeHere()
-		if j := w.npIdx.get(self); j >= 0 {
+		if j := ws.npIdx.get(self); j >= 0 {
 			counts[j]++
 		}
 		for _, u := range nbs {
-			if j := w.npIdx.get(u); j >= 0 {
+			if j := ws.npIdx.get(u); j >= 0 {
 				counts[j]++
 			}
 		}
@@ -86,12 +93,16 @@ func (w *walker) sampleRun(gamma []int64, alpha float64, st *WhiteboardStats) ([
 		}
 	}
 	threshold := int32(math.Ceil(w.p.HeavyThresholdMult * w.lnN))
-	var heavy []int64
-	for j, u := range w.npHomeL {
+	// The heavy list is scratch too: every caller consumes it before
+	// the next sampleRun (markHeavy immediately, or a copy for the
+	// Lemma-2 report).
+	heavy := ws.heavy[:0]
+	for j, u := range ws.npHomeL {
 		if counts[j] >= threshold {
 			heavy = append(heavy, u)
 		}
 	}
+	ws.heavy = heavy
 	return heavy, nil
 }
 
@@ -116,24 +127,31 @@ func constructDense(e *sim.Env, p Params, deltaEst float64, doubling bool, st *W
 	if err := w.checkDegree(); err != nil {
 		return nil, err // home itself violates the estimate
 	}
+	ws := w.s
 	// inH is indexed by npHomeL position: heavy classification only
-	// ever applies to members of N+(home).
-	inH := make([]bool, len(w.npHomeL))
-	gamma := w.learn(w.home, w.homeNb) // NS ← N+(home); Γ₁ = N+(home)
+	// ever applies to members of N+(home). It and the candidate list
+	// are walker scratch, reused across trials.
+	if cap(ws.inH) < len(ws.npHomeL) {
+		ws.inH = make([]bool, len(ws.npHomeL))
+	}
+	inH := ws.inH[:len(ws.npHomeL)]
+	clear(inH)
+	gamma := w.learn(w.home, ws.homeNb) // NS ← N+(home); Γ₁ = N+(home)
 	rng := e.Rand()
 
 	markHeavy := func(ids []int64) {
 		for _, u := range ids {
-			inH[w.npIdx.get(u)] = true
+			inH[ws.npIdx.get(u)] = true
 		}
 	}
 	candidates := func() []int64 {
-		var r []int64
-		for j, u := range w.npHomeL {
+		r := ws.cand[:0]
+		for j, u := range ws.npHomeL {
 			if !inH[j] {
 				r = append(r, u)
 			}
 		}
+		ws.cand = r
 		return r
 	}
 	goHomeAndReturn := func(err error) (*walker, error) {
@@ -156,7 +174,7 @@ func constructDense(e *sim.Env, p Params, deltaEst float64, doubling bool, st *W
 		// two-step strategy against).
 		sampleSet := gamma
 		if p.StrictOnly {
-			sampleSet = w.nsL
+			sampleSet = ws.nsL
 			if st != nil {
 				st.StrictRuns++
 			}
@@ -198,7 +216,7 @@ func constructDense(e *sim.Env, p Params, deltaEst float64, doubling bool, st *W
 			if st != nil {
 				st.StrictRuns++
 			}
-			heavy, err := w.sampleRun(w.nsL, w.alpha(), st)
+			heavy, err := w.sampleRun(ws.nsL, w.alpha(), st)
 			if err != nil {
 				return goHomeAndReturn(err)
 			}
@@ -217,7 +235,7 @@ func constructDense(e *sim.Env, p Params, deltaEst float64, doubling bool, st *W
 					chosen, found = u, true
 					break
 				}
-				inH[w.npIdx.get(u)] = true // exactly verified heavy
+				inH[ws.npIdx.get(u)] = true // exactly verified heavy
 			}
 			if !found {
 				break // R = ∅: N+(home) fully classified heavy
@@ -244,8 +262,8 @@ func constructDense(e *sim.Env, p Params, deltaEst float64, doubling bool, st *W
 	if st != nil {
 		st.DeltaUsed = w.deltaEst
 		st.ConstructRounds = e.Round()
-		st.T = append([]int64(nil), w.nsL...)
-		st.TSize = len(w.nsL)
+		st.T = append([]int64(nil), ws.nsL...)
+		st.TSize = len(ws.nsL)
 		st.MemoryWords = w.memoryWords()
 	}
 	return w, nil

@@ -227,7 +227,7 @@ func TestWalkerNavigationErrors(t *testing.T) {
 	ran := false
 	prog := func(e *sim.Env) {
 		w := newWalker(e, PracticalParams(), 1, false)
-		w.learn(w.home, w.homeNb)
+		w.learn(w.home, w.s.homeNb)
 		if err := w.goTo(999); err == nil {
 			panic("goTo(999) succeeded for unknown vertex")
 		}
@@ -235,13 +235,13 @@ func TestWalkerNavigationErrors(t *testing.T) {
 			panic("failed goTo moved the agent")
 		}
 		// Known vertex at distance 1 works and comes back.
-		if cnt, err := w.exactCount(w.homeNb[0]); err != nil || cnt == 0 {
+		if cnt, err := w.exactCount(w.s.homeNb[0]); err != nil || cnt == 0 {
 			panic("exactCount on neighbor failed")
 		}
 		if e.HereID() != w.home {
 			panic("exactCount did not return home")
 		}
-		if _, ok := w.cachedNeighborhood(w.homeNb[0]); !ok {
+		if _, ok := w.cachedNeighborhood(w.s.homeNb[0]); !ok {
 			panic("lastSeen cache empty after exactCount")
 		}
 		if _, ok := w.cachedNeighborhood(12345); ok {

@@ -8,31 +8,75 @@ package core
 // fall back to maps, trading speed for memory. Both representations
 // answer queries identically and are never iterated, so the choice
 // cannot affect simulation results.
+//
+// All three types are reusable across trials: init prepares a value
+// for a fresh run, and the dense forms reset by bumping a generation
+// stamp instead of clearing Θ(n') memory, so a walker parked on a
+// sim.AgentScratch slot re-arms in O(1) and allocates nothing after
+// its first trial (the map forms clear in place, keeping buckets).
 
 // denseIDLimit bounds the ID space for which dense arrays are used
 // (8 MiB for the largest array at the limit).
 const denseIDLimit = 1 << 20
 
+// epoch is the generation-stamp machinery shared by the dense forms:
+// an entry is live iff its stamp equals the current generation, so a
+// whole-structure reset is one counter bump. gen doubles as the dense
+// backing ("dense mode" iff gen != nil).
+type epoch struct {
+	gen []uint32
+	cur uint32
+}
+
+// reset re-arms the epoch over an n-entry index space, reusing the
+// stamp array when the size already matches.
+func (ep *epoch) reset(n int) {
+	if len(ep.gen) != n {
+		ep.gen = make([]uint32, n)
+		ep.cur = 1
+		return
+	}
+	ep.cur++
+	if ep.cur == 0 { // stamp counter wrapped: hard-clear once per 2^32 resets
+		clear(ep.gen)
+		ep.cur = 1
+	}
+}
+
+func (ep *epoch) drop()             { ep.gen, ep.cur = nil, 0 }
+func (ep *epoch) live(i int64) bool { return ep.gen[i] == ep.cur }
+func (ep *epoch) mark(i int64)      { ep.gen[i] = ep.cur }
+
 // idIndex maps vertex IDs to small dense indexes (-1 = absent).
 type idIndex struct {
+	ep    epoch
 	dense []int32
 	m     map[int64]int32
 }
 
-func newIDIndex(nPrime int64, sizeHint int) *idIndex {
+// init prepares the index for a fresh run over ID space [0, nPrime).
+func (x *idIndex) init(nPrime int64, sizeHint int) {
 	if nPrime > 0 && nPrime <= denseIDLimit {
-		d := make([]int32, nPrime)
-		for i := range d {
-			d[i] = -1
+		x.m = nil
+		if int64(len(x.dense)) != nPrime {
+			x.dense = make([]int32, nPrime)
 		}
-		return &idIndex{dense: d}
+		x.ep.reset(int(nPrime))
+		return
 	}
-	return &idIndex{m: make(map[int64]int32, sizeHint)}
+	x.dense = nil
+	x.ep.drop()
+	if x.m != nil {
+		clear(x.m)
+		return
+	}
+	x.m = make(map[int64]int32, sizeHint)
 }
 
 func (x *idIndex) set(id int64, idx int32) {
 	if x.dense != nil {
 		x.dense[id] = idx
+		x.ep.mark(id)
 		return
 	}
 	x.m[id] = idx
@@ -41,7 +85,7 @@ func (x *idIndex) set(id int64, idx int32) {
 // get returns the index of id, or -1 if absent.
 func (x *idIndex) get(id int64) int32 {
 	if x.dense != nil {
-		if id < 0 || id >= int64(len(x.dense)) {
+		if id < 0 || id >= int64(len(x.dense)) || !x.ep.live(id) {
 			return -1
 		}
 		return x.dense[id]
@@ -52,30 +96,39 @@ func (x *idIndex) get(id int64) int32 {
 	return -1
 }
 
-// idSet is a set of vertex IDs.
+// idSet is a set of vertex IDs. In dense mode membership lives
+// entirely in the epoch stamps.
 type idSet struct {
-	dense []bool
-	m     map[int64]struct{}
+	ep epoch
+	m  map[int64]struct{}
 }
 
-func newIDSet(nPrime int64, sizeHint int) *idSet {
+// init prepares the set for a fresh run over ID space [0, nPrime).
+func (s *idSet) init(nPrime int64, sizeHint int) {
 	if nPrime > 0 && nPrime <= denseIDLimit {
-		return &idSet{dense: make([]bool, nPrime)}
+		s.m = nil
+		s.ep.reset(int(nPrime))
+		return
 	}
-	return &idSet{m: make(map[int64]struct{}, sizeHint)}
+	s.ep.drop()
+	if s.m != nil {
+		clear(s.m)
+		return
+	}
+	s.m = make(map[int64]struct{}, sizeHint)
 }
 
 func (s *idSet) add(id int64) {
-	if s.dense != nil {
-		s.dense[id] = true
+	if s.ep.gen != nil {
+		s.ep.mark(id)
 		return
 	}
 	s.m[id] = struct{}{}
 }
 
 func (s *idSet) has(id int64) bool {
-	if s.dense != nil {
-		return id >= 0 && id < int64(len(s.dense)) && s.dense[id]
+	if s.ep.gen != nil {
+		return id >= 0 && id < int64(len(s.ep.gen)) && s.ep.live(id)
 	}
 	_, ok := s.m[id]
 	return ok
@@ -85,25 +138,35 @@ func (s *idSet) has(id int64) bool {
 // tracks its entry count so memory accounting stays meaningful under
 // the dense representation.
 type idToID struct {
-	dense   []int64 // -1 = absent (IDs are non-negative)
+	ep      epoch
+	dense   []int64
 	m       map[int64]int64
 	entries int
 }
 
-func newIDToID(nPrime int64, sizeHint int) *idToID {
+// init prepares the table for a fresh run over ID space [0, nPrime).
+func (t *idToID) init(nPrime int64, sizeHint int) {
+	t.entries = 0
 	if nPrime > 0 && nPrime <= denseIDLimit {
-		d := make([]int64, nPrime)
-		for i := range d {
-			d[i] = -1
+		t.m = nil
+		if int64(len(t.dense)) != nPrime {
+			t.dense = make([]int64, nPrime)
 		}
-		return &idToID{dense: d}
+		t.ep.reset(int(nPrime))
+		return
 	}
-	return &idToID{m: make(map[int64]int64, sizeHint)}
+	t.dense = nil
+	t.ep.drop()
+	if t.m != nil {
+		clear(t.m)
+		return
+	}
+	t.m = make(map[int64]int64, sizeHint)
 }
 
 func (t *idToID) get(id int64) (int64, bool) {
 	if t.dense != nil {
-		if id < 0 || id >= int64(len(t.dense)) || t.dense[id] < 0 {
+		if id < 0 || id >= int64(len(t.dense)) || !t.ep.live(id) {
 			return 0, false
 		}
 		return t.dense[id], true
@@ -115,8 +178,9 @@ func (t *idToID) get(id int64) (int64, bool) {
 // setIfMissing records id -> via unless id already has an entry.
 func (t *idToID) setIfMissing(id, via int64) {
 	if t.dense != nil {
-		if t.dense[id] < 0 {
+		if !t.ep.live(id) {
 			t.dense[id] = via
+			t.ep.mark(id)
 			t.entries++
 		}
 		return

@@ -108,7 +108,7 @@ func NoboardAgentA(p Params, delta int, st *NoboardStats) sim.Program {
 			}
 		}
 		e.WaitUntilRound(sched.tPrime)
-		phi := sampleSubset(e, w.nsL, sched.prob)
+		phi := sampleSubset(e, w.s.nsL, sched.prob)
 		if st != nil {
 			st.PhiA = len(phi)
 		}

@@ -52,10 +52,10 @@ func MainPhaseAgentA(t []int64, via map[int64]int64) sim.Program {
 			if !ok {
 				panic(fmt.Sprintf("core: oracle set member %d has no via entry", id))
 			}
-			w.via.setIfMissing(id, v)
-			if !w.ns.has(id) {
-				w.ns.add(id)
-				w.nsL = append(w.nsL, id)
+			w.s.via.setIfMissing(id, v)
+			if !w.s.ns.has(id) {
+				w.s.ns.add(id)
+				w.s.nsL = append(w.s.nsL, id)
 			}
 		}
 		mainRendezvousA(e, w)

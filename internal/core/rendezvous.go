@@ -77,7 +77,7 @@ func runConstruct(e *sim.Env, p Params, know Knowledge, st *WhiteboardStats) *wa
 // uniformly, visit it, read the whiteboard, return home; once a mark
 // (b's start-vertex ID) is found, move there and wait for b.
 func mainRendezvousA(e *sim.Env, w *walker) {
-	t := w.nsL
+	t := w.s.nsL
 	rng := e.Rand()
 	for {
 		v := t[rng.IntN(len(t))]
@@ -94,7 +94,7 @@ func mainRendezvousA(e *sim.Env, w *walker) {
 		// mark is b's start-vertex ID; the initial distance is one, so
 		// it is a neighbor of home. A mark that is not adjacent cannot
 		// come from this algorithm; skip it defensively.
-		if !slices.Contains(w.homeNb, mark) && mark != w.home {
+		if !slices.Contains(w.s.homeNb, mark) && mark != w.home {
 			continue
 		}
 		if mark != w.home {
@@ -158,12 +158,14 @@ type SampleReport struct {
 func SampleClassifier(p Params, delta int, rep *SampleReport) sim.Program {
 	return func(e *sim.Env) {
 		w := newWalker(e, p, float64(delta), false)
-		gamma := w.learn(w.home, w.homeNb)
+		gamma := w.learn(w.home, w.s.homeNb)
 		heavy, err := w.sampleRun(gamma, w.alpha(), nil)
 		if err != nil {
 			panic(err)
 		}
-		rep.Heavy = heavy
+		// Copy: the sampleRun result is walker scratch and must not
+		// outlive the run inside a caller-owned report.
+		rep.Heavy = append([]int64(nil), heavy...)
 		rep.Visits = w.visits
 	}
 }

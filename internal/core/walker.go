@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"slices"
 
 	"fnr/internal/sim"
 )
@@ -17,6 +16,53 @@ func (e *restartError) Error() string {
 	return fmt.Sprintf("core: visited vertex of degree %d below current δ' estimate", e.seenDegree)
 }
 
+// walkerScratch is the reusable Θ(n' + ∆) storage behind a walker: the
+// dense-or-map ID structures of idspace.go plus every growable list
+// the walker and Construct touch. It parks on the agent's
+// sim.AgentScratch slot between trials, so a worker running many
+// trials re-arms it in O(1) (epoch bumps, length resets) instead of
+// re-allocating ~1 MB of dense arrays per trial at n=65536. Reuse is
+// representation-only: a warmed scratch answers every query exactly
+// like a fresh one, so trial outcomes cannot depend on it (the
+// engine's differential suite pins this).
+type walkerScratch struct {
+	npIdx idIndex // ID -> position in npHomeL (-1 if not in N+(home))
+	via   idToID  // known vertex -> neighbor of home on a shortest path
+	ns    idSet   // N+(S), the paper's NS^a
+	// walker lists (see the walker fields of the same names).
+	homeNb     []int64
+	npHomeL    []int64
+	nsL        []int64
+	lastSeenNb []int64
+	// Construct/Sample scratch (see constructDense and sampleRun).
+	counts []int32
+	inH    []bool
+	heavy  []int64
+	cand   []int64
+	// diff double-buffers learn's difference sets: the previous
+	// difference set stays intact while the next one builds (Construct
+	// holds Γ_i across the learn call that produces Γ_{i+1}).
+	diff    [2][]int64
+	diffCur int
+}
+
+// walkerScratchOf finds (or creates) the walker scratch parked on the
+// agent's trial-context slot. Without a slot (hand-built contexts,
+// plain sim.Run) every walker gets a fresh scratch — behaviorally
+// identical, just without the reuse.
+func walkerScratchOf(e *sim.Env) *walkerScratch {
+	slot := e.Scratch()
+	if slot == nil {
+		return &walkerScratch{}
+	}
+	ws, _ := slot.Get().(*walkerScratch)
+	if ws == nil {
+		ws = &walkerScratch{}
+		slot.Set(ws)
+	}
+	return ws
+}
+
 // walker is agent a's bookkeeping: the learned 2-neighborhood of its
 // start vertex, with a via-vertex per known vertex so that any learned
 // vertex is reachable from home in at most two moves (the paper's
@@ -25,59 +71,62 @@ func (e *restartError) Error() string {
 // The ID-keyed state lives in the dense-or-map structures of
 // idspace.go: Sample's inner loop touches them once per observed
 // neighbor, which made the original map-backed forms the dominant
-// cost of the whole Theorem-1 simulation.
+// cost of the whole Theorem-1 simulation. All of it lives in the
+// reusable walkerScratch s:
+//
+//   - s.homeNb: N(home) IDs in port order
+//   - s.npHomeL: N+(home) as a list (home first)
+//   - s.nsL: NS as a list, in discovery order
 type walker struct {
 	e        *sim.Env
 	p        Params
+	s        *walkerScratch
 	lnN      float64
 	deltaEst float64 // current δ' (exact δ or the doubling estimate)
 	doubling bool
 
-	home    int64
-	homeNb  []int64  // N(home) IDs in port order
-	npIdx   *idIndex // ID -> position in npHomeL (-1 if not in N+(home))
-	npHomeL []int64  // N+(home) as a list (home first)
-	via     *idToID  // known vertex -> neighbor of home on a shortest path
-	ns      *idSet   // N+(S), the paper's NS^a
-	nsL     []int64  // NS as a list, in discovery order
-	visits  int64    // number of vertex visits (diagnostics)
+	home   int64
+	visits int64 // number of vertex visits (diagnostics)
 
 	// lastSeen holds the full neighbor list of the most recently
-	// visited candidate only. One entry suffices — Construct consumes
-	// it immediately when the candidate is selected as x_i — and
-	// keeping just one preserves the paper's O(n log n)-bit memory
-	// claim (an unbounded cache could reach Θ(δ·∆) words).
+	// visited candidate only (in s.lastSeenNb). One entry suffices —
+	// Construct consumes it immediately when the candidate is selected
+	// as x_i — and keeping just one preserves the paper's O(n log n)-bit
+	// memory claim (an unbounded cache could reach Θ(δ·∆) words).
 	lastSeenID int64
-	lastSeenNb []int64
 }
 
 // newWalker snapshots the start vertex's neighborhood. Must be called
-// with the agent at its start vertex.
+// with the agent at its start vertex. Only one walker per agent is
+// ever live at a time (doubling restarts discard the old one before
+// constructing anew), so re-arming the shared scratch here is safe.
 func newWalker(e *sim.Env, p Params, deltaEst float64, doubling bool) *walker {
 	nPrime := e.NPrime()
-	homeNb := slices.Clone(e.NeighborIDs())
+	s := walkerScratchOf(e)
+	s.homeNb = append(s.homeNb[:0], e.NeighborIDs()...)
 	w := &walker{
 		e:          e,
 		p:          p,
+		s:          s,
 		lnN:        lnOf(nPrime),
 		deltaEst:   deltaEst,
 		doubling:   doubling,
 		home:       e.HereID(),
-		homeNb:     homeNb,
-		via:        newIDToID(nPrime, 2*len(homeNb)),
-		ns:         newIDSet(nPrime, 2*len(homeNb)),
 		lastSeenID: -1,
 	}
-	w.npIdx = newIDIndex(nPrime, len(w.homeNb)+1)
-	w.npHomeL = make([]int64, 0, len(w.homeNb)+1)
-	w.npHomeL = append(w.npHomeL, w.home)
-	w.npHomeL = append(w.npHomeL, w.homeNb...)
-	for i, id := range w.npHomeL {
-		w.npIdx.set(id, int32(i))
+	s.via.init(nPrime, 2*len(s.homeNb))
+	s.ns.init(nPrime, 2*len(s.homeNb))
+	s.npIdx.init(nPrime, len(s.homeNb)+1)
+	s.npHomeL = append(s.npHomeL[:0], w.home)
+	s.npHomeL = append(s.npHomeL, s.homeNb...)
+	for i, id := range s.npHomeL {
+		s.npIdx.set(id, int32(i))
 	}
-	w.via.setIfMissing(w.home, w.home)
-	for _, id := range w.homeNb {
-		w.via.setIfMissing(id, id)
+	s.nsL = s.nsL[:0]
+	s.lastSeenNb = s.lastSeenNb[:0]
+	s.via.setIfMissing(w.home, w.home)
+	for _, id := range s.homeNb {
+		s.via.setIfMissing(id, id)
 	}
 	return w
 }
@@ -104,7 +153,7 @@ func (w *walker) goTo(target int64) error {
 	if target == w.home {
 		return nil
 	}
-	via, ok := w.via.get(target)
+	via, ok := w.s.via.get(target)
 	if !ok {
 		return fmt.Errorf("core: goTo(%d): vertex unknown to walker", target)
 	}
@@ -129,8 +178,8 @@ func (w *walker) goHome() error {
 	if cur == w.home {
 		return nil
 	}
-	if w.npIdx.get(cur) < 0 { // not adjacent to home: go via
-		via, ok := w.via.get(cur)
+	if w.s.npIdx.get(cur) < 0 { // not adjacent to home: go via
+		via, ok := w.s.via.get(cur)
 		if !ok {
 			return fmt.Errorf("core: goHome from unknown vertex %d", cur)
 		}
@@ -151,22 +200,26 @@ func (w *walker) observeHere() (int64, []int64) {
 // learn records x's full neighborhood (observed while standing on x)
 // into NS^a, assigning via-vertices for the newly discovered vertices,
 // and returns the list of vertices newly added to NS (the difference
-// set N+(S ∪ {x}) \ N+(S)).
+// set N+(S ∪ {x}) \ N+(S)). The returned slice stays valid until the
+// next learn call after it (the double buffer in s.diff).
 func (w *walker) learn(x int64, nbs []int64) []int64 {
-	var added []int64
+	s := w.s
+	s.diffCur ^= 1
+	added := s.diff[s.diffCur][:0]
 	add := func(id int64) {
-		if w.ns.has(id) {
+		if s.ns.has(id) {
 			return
 		}
-		w.ns.add(id)
-		w.nsL = append(w.nsL, id)
+		s.ns.add(id)
+		s.nsL = append(s.nsL, id)
 		added = append(added, id)
-		w.via.setIfMissing(id, x)
+		s.via.setIfMissing(id, x)
 	}
 	add(x)
 	for _, id := range nbs {
 		add(id)
 	}
+	s.diff[s.diffCur] = added
 	return added
 }
 
@@ -177,7 +230,7 @@ func (w *walker) learn(x int64, nbs []int64) []int64 {
 // agent ends the call back at home.
 func (w *walker) exactCount(u int64) (int, error) {
 	if u == w.home {
-		return w.countAgainstNS(u, w.homeNb), nil
+		return w.countAgainstNS(u, w.s.homeNb), nil
 	}
 	if err := w.goTo(u); err != nil {
 		return 0, err
@@ -185,7 +238,7 @@ func (w *walker) exactCount(u int64) (int, error) {
 	self, nbs := w.observeHere()
 	cnt := w.countAgainstNS(self, nbs)
 	w.lastSeenID = self
-	w.lastSeenNb = append(w.lastSeenNb[:0], nbs...)
+	w.s.lastSeenNb = append(w.s.lastSeenNb[:0], nbs...)
 	if err := w.goHome(); err != nil {
 		return 0, err
 	}
@@ -196,10 +249,10 @@ func (w *walker) exactCount(u int64) (int, error) {
 // most recently visited candidate.
 func (w *walker) cachedNeighborhood(u int64) ([]int64, bool) {
 	if u == w.home {
-		return w.homeNb, true
+		return w.s.homeNb, true
 	}
 	if u == w.lastSeenID {
-		return w.lastSeenNb, true
+		return w.s.lastSeenNb, true
 	}
 	return nil, false
 }
@@ -210,16 +263,17 @@ func (w *walker) cachedNeighborhood(u int64) ([]int64, bool) {
 // speed; the estimate deliberately counts logical entries, i.e. the
 // algorithm's information content.
 func (w *walker) memoryWords() int {
-	return len(w.homeNb) + len(w.npHomeL) + w.via.len() + len(w.nsL) + len(w.lastSeenNb)
+	s := w.s
+	return len(s.homeNb) + len(s.npHomeL) + s.via.len() + len(s.nsL) + len(s.lastSeenNb)
 }
 
 func (w *walker) countAgainstNS(self int64, nbs []int64) int {
 	cnt := 0
-	if w.ns.has(self) {
+	if w.s.ns.has(self) {
 		cnt++
 	}
 	for _, id := range nbs {
-		if w.ns.has(id) {
+		if w.s.ns.has(id) {
 			cnt++
 		}
 	}

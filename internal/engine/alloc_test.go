@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"fnr/internal/graph"
+	"fnr/internal/sim"
+
+	_ "fnr/internal/algo/paper"
+)
+
+// bytesPerTrial measures the average heap bytes and allocation count
+// one trial costs under the given trial-context supplier.
+func bytesPerTrial(t *testing.T, b Batch, trials int, tcFor func() *sim.TrialContext) (bytesPer, allocsPer float64) {
+	t.Helper()
+	spec, opts, err := b.prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm: the first trial on a reusable context pays the scratch
+	// allocation that later trials are gated on avoiding. (For the
+	// fresh-context supplier this warm-up changes nothing.)
+	if out := runStepperTrial(b, spec, opts, tcFor(), 0); out.Err {
+		t.Fatal("warm-up trial errored")
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 1; i <= trials; i++ {
+		if out := runStepperTrial(b, spec, opts, tcFor(), i); out.Err {
+			t.Fatalf("trial %d errored", i)
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.TotalAlloc-m0.TotalAlloc) / float64(trials),
+		float64(m1.Mallocs-m0.Mallocs) / float64(trials)
+}
+
+// TestWhiteboardTrialScratchAllocs is the allocation-regression gate
+// for the per-trial walker scratch: on a reused sim.TrialContext the
+// Theorem-1 whiteboard algorithm must not re-allocate its Θ(n') dense
+// idspace arrays (≈ 24 bytes per ID before the scratch fold) or its
+// per-Construct counters each trial.
+func TestWhiteboardTrialScratchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	const n, d = 4096, 80
+	rng := rand.New(rand.NewPCG(21, 0xa110c))
+	g, err := graph.PlantedMinDegree(n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := graph.Vertex(rng.IntN(n))
+	sb := g.Adj(sa)[rng.IntN(g.Degree(sa))]
+	b := Batch{Graph: g, StartA: sa, StartB: sb, Algorithm: "whiteboard",
+		Delta: g.MinDegree(), Trials: 1, Seed: 21, Workers: 1}
+
+	shared := sim.NewTrialContext()
+	warmBytes, warmAllocs := bytesPerTrial(t, b, 6, func() *sim.TrialContext { return shared })
+	t.Logf("warm context: %.0f B/trial, %.1f allocs/trial", warmBytes, warmAllocs)
+	// The walker's dense idspace structures alone span ≥ 24·n bytes
+	// (idIndex int32+gen, idToID int64+gen, idSet gen); a reused
+	// context must stay well below re-allocating them every trial.
+	if limit := float64(16 * n); warmBytes > limit {
+		t.Errorf("reused TrialContext allocates %.0f B/trial, want < %.0f (walker scratch not reused)", warmBytes, limit)
+	}
+	if warmAllocs > 128 {
+		t.Errorf("reused TrialContext allocates %.1f times/trial, want ≤ 128", warmAllocs)
+	}
+
+	coldBytes, _ := bytesPerTrial(t, b, 6, sim.NewTrialContext)
+	t.Logf("cold contexts: %.0f B/trial", coldBytes)
+	if coldBytes < float64(24*n) {
+		// Sanity for the gate itself: fresh contexts must actually pay
+		// the Θ(n') cost, or the warm threshold proves nothing.
+		t.Errorf("fresh TrialContext allocates only %.0f B/trial — gate no longer measures the dense arrays", coldBytes)
+	}
+}

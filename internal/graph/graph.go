@@ -2,7 +2,8 @@
 // rendezvous simulator: undirected simple graphs with unique vertex
 // identifiers, explicit local port numberings, generators for the graph
 // families used throughout the paper "Fast Neighborhood Rendezvous"
-// (Eguchi, Kitamura, Izumi; ICDCS 2020), and text serialization.
+// (Eguchi, Kitamura, Izumi; ICDCS 2020), and serialization in two
+// formats (v1 text and v2 binary; see io.go).
 //
 // Vertices carry two independent namespaces:
 //
@@ -37,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"slices"
 	"sort"
 )
@@ -54,8 +56,15 @@ const NoID int64 = -1
 // and a fixed port numbering. Construct one with a Builder or one of the
 // generators; a zero Graph is empty and unusable.
 type Graph struct {
-	ids  []int64          // index -> identifier
-	byID map[int64]Vertex // identifier -> index
+	ids []int64 // index -> identifier
+	// Identifier -> index, in one of two map-free forms: under tight
+	// naming (n' ≤ 4n) idToV is the dense inverse of ids (-1 = no
+	// vertex) and VertexByID is one bounds-checked array load;
+	// otherwise idKeys/idVerts hold the (ID, vertex) pairs sorted by ID
+	// and VertexByID is a binary search. Exactly one form is non-nil.
+	idToV   []int32
+	idKeys  []int64
+	idVerts []int32
 	// CSR adjacency: vertex v's arcs live at positions
 	// [offsets[v], offsets[v+1]) of every flat per-arc array below.
 	offsets []int32
@@ -91,10 +100,23 @@ func (g *Graph) MaxDegree() int { return g.maxDeg }
 // ID returns the identifier of vertex v.
 func (g *Graph) ID(v Vertex) int64 { return g.ids[v] }
 
-// VertexByID returns the vertex with the given identifier.
+// VertexByID returns the vertex with the given identifier. It is
+// allocation-free: O(1) under tight naming (a dense inverse array),
+// O(log n) otherwise (binary search of the sorted ID index).
 func (g *Graph) VertexByID(id int64) (Vertex, bool) {
-	v, ok := g.byID[id]
-	return v, ok
+	if g.idToV != nil {
+		if id < 0 || id >= int64(len(g.idToV)) {
+			return NilVertex, false
+		}
+		if v := g.idToV[id]; v >= 0 {
+			return Vertex(v), true
+		}
+		return NilVertex, false
+	}
+	if i, ok := slices.BinarySearch(g.idKeys, id); ok {
+		return Vertex(g.idVerts[i]), true
+	}
+	return NilVertex, false
 }
 
 // Degree returns the degree of v.
@@ -178,39 +200,57 @@ func (g *Graph) PortOfID(v Vertex, id int64) int {
 // adjacency, no self-loops, no parallel edges, distinct in-range IDs.
 // Graphs produced by a Builder or the generators always validate; the
 // method exists for graphs decoded from untrusted input and for tests.
+// Symmetry is established by one sequential linear sweep (see below)
+// instead of a binary search per arc, so validating a 33M-arc
+// deserialized graph costs a fraction of a core-second instead of
+// several.
 func (g *Graph) Validate() error {
 	n := g.N()
 	if err := validateIDs(g.ids, g.nPrime); err != nil {
 		return err
 	}
-	edges := 0
+	if len(g.nbrs)%2 != 0 {
+		return errors.New("graph: odd total arc count")
+	}
+	if len(g.nbrs)/2 != g.edges {
+		return fmt.Errorf("graph: edge count %d does not match recorded %d", len(g.nbrs)/2, g.edges)
+	}
+	// Symmetry by one linear cursor co-sweep instead of a binary
+	// search per arc. Both graph constructions guarantee structurally
+	// that each sorted run holds the same multiset as its Adj row
+	// (buildDerived sorts the row's copy; the binary reader scatters
+	// the run through a checked port permutation), so sweeping sources
+	// in ascending order must land every arc (v, w) exactly on the
+	// cursor of w's sorted run. A completed sweep maps each arc to a
+	// distinct matching run entry — an injection of the arc multiset
+	// into its own reversal, hence a bijection: the graph is
+	// symmetric.
+	cur := make([]int32, n)
+	copy(cur, g.offsets[:n])
 	for v := Vertex(0); int(v) < n; v++ {
-		for _, w := range g.Adj(v) {
+		s := g.sortedAdj(v)
+		for i, w := range s {
 			if w == v {
 				return fmt.Errorf("graph: self-loop at vertex %d", v)
 			}
 			if int(w) < 0 || int(w) >= n {
 				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
 			}
-			if !g.HasEdge(w, v) {
+			if i > 0 && w == s[i-1] {
+				return fmt.Errorf("graph: parallel edge %d-%d", v, w)
+			}
+		}
+		for _, w := range g.Adj(v) {
+			c := cur[w]
+			if c >= g.offsets[w+1] || g.sorted[c] != v {
 				return fmt.Errorf("graph: edge %d-%d is not symmetric", v, w)
 			}
-			edges++
-		}
-		// Parallel edges are adjacent duplicates in the sorted run.
-		s := g.sortedAdj(v)
-		for i := 1; i < len(s); i++ {
-			if s[i] == s[i-1] {
-				return fmt.Errorf("graph: parallel edge %d-%d", v, s[i])
-			}
+			cur[w] = c + 1
 		}
 	}
-	if edges%2 != 0 {
-		return errors.New("graph: odd total arc count")
-	}
-	if edges/2 != g.edges {
-		return fmt.Errorf("graph: edge count %d does not match recorded %d", edges/2, g.edges)
-	}
+	// Every arc advanced exactly one cursor inside its run's bounds
+	// and the totals agree, so all cursors ended exactly at their
+	// degrees — no final pass needed.
 	return nil
 }
 
@@ -238,12 +278,14 @@ func validateIDs(ids []int64, nPrime int64) error {
 // overflows the int32 offset space rather than truncating silently.
 func (g *Graph) setRows(rows [][]Vertex) error {
 	n := len(rows)
-	arcs := 0
+	// Count in int64: the whole point of the check is that the sum may
+	// not fit the offset space, so it must not silently wrap first.
+	var arcs int64
 	for _, row := range rows {
-		arcs += len(row)
+		arcs += int64(len(row))
 	}
-	if int64(arcs) > math.MaxInt32 {
-		return fmt.Errorf("graph: %d arcs overflow the int32 CSR offset space", arcs)
+	if arcs > math.MaxInt32 {
+		return fmt.Errorf("graph: arc count %d exceeds CSR capacity (int32 offsets, max %d arcs)", arcs, math.MaxInt32)
 	}
 	g.offsets = make([]int32, n+1)
 	g.nbrs = make([]Vertex, 0, arcs)
@@ -269,18 +311,104 @@ func (s idPortSorter) Swap(i, j int) {
 }
 
 // buildDerived computes every derived field of a graph whose ids,
-// offsets, nbrs and nPrime fields are populated: the ID map, degree
+// offsets, nbrs and nPrime fields are populated: the ID index, degree
 // extremes and edge count, and the three remaining flat per-arc arrays
-// (sorted adjacency, neighbor IDs, ID->port index).
+// (sorted adjacency, neighbor IDs, ID->port index). Per-vertex
+// assembly — the sorts in particular — fans out over vertex blocks,
+// and the (ID, port) co-sort runs as a single flat uint64 sort per
+// vertex whenever the ID and port widths pack into one word (they do
+// for every graph the parsers accept), so deserializing or building a
+// 33M-arc graph spends fractions of a core-second here instead of
+// several. None of this touches an RNG: generator draw sequences are
+// byte-identical at any GOMAXPROCS.
 func (g *Graph) buildDerived() {
 	n := len(g.ids)
 	arcs := len(g.nbrs)
-	g.byID = make(map[int64]Vertex, n)
+	g.buildIDIndex()
+	g.computeDegreeStats()
+
+	g.nbrIDs = make([]int64, arcs)
+	g.idSorted = make([]int64, arcs)
+
+	// Tight identity naming (ids[v] = v, every generator's default)
+	// means ID order equals index order, so ONE packed sort per vertex
+	// on (neighbor index, port) keys yields sorted, idSorted and
+	// idPort together — measurably faster than an int32 sort plus a
+	// second co-sort, and far faster than the seed's interface-based
+	// sort.Sort. Under other labelings sorted gets its own int32 sort
+	// and the (ID, port) pairs co-sort as packed uint64 keys when the
+	// ID and port widths fit 63 bits together (they do for every graph
+	// the parsers accept), falling back to the interface sort for
+	// astronomically sparse namings. Invalid inputs (IDs or neighbors
+	// out of range) may pack garbage keys; buildDerived only has to be
+	// deterministic on them, not meaningful, because Validate rejects
+	// such graphs before anyone queries the index.
+	g.sorted = make([]Vertex, arcs)
+	g.idPort = make([]int32, arcs)
+	identity := g.identityIDs()
+	keys, portBits, portMask := g.idPortKeys(identity)
+
+	parallelBlocks(n, func(lo, hi Vertex) {
+		for v := lo; v < hi; v++ {
+			o, e := g.offsets[v], g.offsets[v+1]
+			idRun := g.nbrIDs[o:e]
+			if identity {
+				// Keys are (index << portBits) | port: the index fits
+				// 32 bits (Vertex is int32) and portBits ≤ 31, so the
+				// key always fits. uint32 round-trips negative
+				// (invalid) indices exactly; they merely sort high.
+				ks := keys[o:e]
+				for p, w := range g.nbrs[o:e] {
+					ks[p] = uint64(uint32(w))<<portBits | uint64(p)
+					if int(w) >= 0 && int(w) < n {
+						idRun[p] = int64(w)
+					} else {
+						idRun[p] = NoID
+					}
+				}
+				slices.Sort(ks)
+				for i, k := range ks {
+					w := Vertex(int32(uint32(k >> portBits)))
+					g.sorted[int(o)+i] = w
+					g.idSorted[int(o)+i] = int64(w)
+					g.idPort[int(o)+i] = int32(k & portMask)
+				}
+				continue
+			}
+			// Sorted adjacency: copy this vertex's run and sort it.
+			sortRun := g.sorted[o:e]
+			copy(sortRun, g.nbrs[o:e])
+			slices.Sort(sortRun)
+			// Port-ordered neighbor IDs (out-of-range neighbors map to
+			// NoID and are left for Validate to report).
+			for i, w := range g.nbrs[o:e] {
+				if int(w) >= 0 && int(w) < n {
+					idRun[i] = g.ids[w]
+				} else {
+					idRun[i] = NoID
+				}
+			}
+			g.coSortIDPort(o, e, keys, portBits, portMask)
+		}
+	})
+}
+
+// identityIDs reports whether the graph uses the identity labeling
+// ids[v] = v.
+func (g *Graph) identityIDs() bool {
 	for v, id := range g.ids {
-		g.byID[id] = Vertex(v)
+		if id != int64(v) {
+			return false
+		}
 	}
+	return true
+}
+
+// computeDegreeStats fills the degree extremes and edge count from the
+// populated offsets.
+func (g *Graph) computeDegreeStats() {
 	g.minDeg, g.maxDeg = 0, 0
-	for v := Vertex(0); int(v) < n; v++ {
+	for v := Vertex(0); int(v) < len(g.ids); v++ {
 		d := g.Degree(v)
 		if v == 0 || d < g.minDeg {
 			g.minDeg = d
@@ -289,38 +417,77 @@ func (g *Graph) buildDerived() {
 			g.maxDeg = d
 		}
 	}
-	g.edges = arcs / 2
+	g.edges = len(g.nbrs) / 2
+}
 
-	// Sorted adjacency: copy the neighbor array once, sort each
-	// vertex's run in place.
-	g.sorted = slices.Clone(g.nbrs)
-	for v := Vertex(0); int(v) < n; v++ {
-		slices.Sort(g.sorted[g.offsets[v]:g.offsets[v+1]])
+// idPortKeys decides the packed-key representation for the (ID, port)
+// co-sorts: a shared scratch array plus the bit split when the ID and
+// port widths fit one uint64 key (always, under identity naming — the
+// key packs the 32-bit index instead of the ID), nil keys to select
+// the interface-sort fallback otherwise. Must run after
+// computeDegreeStats (portBits derives from the maximum degree).
+func (g *Graph) idPortKeys(identity bool) (keys []uint64, portBits int, portMask uint64) {
+	portBits = bits.Len(uint(max(g.maxDeg-1, 0)))
+	portMask = uint64(1)<<portBits - 1
+	idBits := bits.Len64(uint64(max(g.nPrime-1, 0)))
+	if identity || idBits+portBits <= 63 {
+		keys = make([]uint64, len(g.nbrs))
 	}
+	return keys, portBits, portMask
+}
 
-	// Port-ordered neighbor IDs (out-of-range neighbors map to NoID and
-	// are left for Validate to report).
-	g.nbrIDs = make([]int64, arcs)
-	for i, w := range g.nbrs {
-		if int(w) >= 0 && int(w) < n {
-			g.nbrIDs[i] = g.ids[w]
-		} else {
-			g.nbrIDs[i] = NoID
+// coSortIDPort builds the ID->port index run [o, e) by co-sorting the
+// already-filled nbrIDs run with its ports — as packed uint64 keys
+// when keys is non-nil, through the interface sort otherwise.
+func (g *Graph) coSortIDPort(o, e int32, keys []uint64, portBits int, portMask uint64) {
+	idRun := g.nbrIDs[o:e]
+	if keys != nil {
+		ks := keys[o:e]
+		for p, id := range idRun {
+			ks[p] = uint64(id)<<portBits | uint64(p)
 		}
-	}
-
-	// ID->port index: per-vertex copy of the ID run plus the identity
-	// port run, co-sorted by ID.
-	g.idSorted = slices.Clone(g.nbrIDs)
-	g.idPort = make([]int32, arcs)
-	for v := Vertex(0); int(v) < n; v++ {
-		lo, hi := g.offsets[v], g.offsets[v+1]
-		run := g.idPort[lo:hi]
-		for p := range run {
-			run[p] = int32(p)
+		slices.Sort(ks)
+		for i, k := range ks {
+			g.idSorted[int(o)+i] = int64(k >> portBits)
+			g.idPort[int(o)+i] = int32(k & portMask)
 		}
-		sort.Sort(idPortSorter{ids: g.idSorted[lo:hi], ports: run})
+		return
 	}
+	copy(g.idSorted[o:e], idRun)
+	run := g.idPort[o:e]
+	for p := range run {
+		run[p] = int32(p)
+	}
+	sort.Sort(idPortSorter{ids: g.idSorted[o:e], ports: run})
+}
+
+// buildIDIndex builds the map-free identifier -> index structure: the
+// dense inverse array when the naming is tight enough that it costs
+// O(n) memory (n' ≤ 4n), the ID-sorted pair index otherwise. IDs
+// outside [0, n') or duplicated are tolerated here (last one wins in
+// the dense form) — Validate is what rejects them.
+func (g *Graph) buildIDIndex() {
+	n := len(g.ids)
+	g.idToV, g.idKeys, g.idVerts = nil, nil, nil
+	if n > 0 && g.nPrime >= 0 && g.nPrime <= int64(4*n) {
+		g.idToV = make([]int32, g.nPrime)
+		for i := range g.idToV {
+			g.idToV[i] = -1
+		}
+		for v, id := range g.ids {
+			if id >= 0 && id < int64(len(g.idToV)) {
+				g.idToV[id] = int32(v)
+			}
+		}
+		return
+	}
+	g.idKeys = make([]int64, n)
+	g.idVerts = make([]int32, n)
+	copy(g.idKeys, g.ids)
+	for v := range g.idVerts {
+		g.idVerts[v] = int32(v)
+	}
+	sort.Sort(idPortSorter{ids: g.idKeys, ports: g.idVerts})
 }
 
 // FromAdjacency constructs a graph directly from an ID table and an
@@ -341,6 +508,94 @@ func FromAdjacency(ids []int64, adj [][]Vertex, nPrime int64) (*Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// fromCSR constructs and validates a graph from already-flat CSR
+// arrays, taking ownership of the slices — the text deserializer's
+// path, which skips the per-row copies of FromAdjacency. offsets must
+// have len(ids)+1 monotone entries with offsets[len(ids)] ==
+// len(nbrs).
+func fromCSR(ids []int64, offsets []int32, nbrs []Vertex, nPrime int64) (*Graph, error) {
+	g := &Graph{ids: ids, offsets: offsets, nbrs: nbrs, nPrime: nPrime}
+	g.buildDerived()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// fromCSRSorted constructs and validates a graph from the binary
+// reader's arrays: per-vertex ascending neighbor runs plus the
+// sorted-position -> port permutation (ports[i] is the local port
+// behind which run entry i sits). The port-order adjacency is rebuilt
+// by scattering each run through its ports — rejecting out-of-range
+// and duplicate ports, so the rebuilt rows provably hold exactly the
+// runs' multisets — and nothing needs sorting. Takes ownership of all
+// slices (ports becomes the idPort index under identity naming). The
+// caller must have checked that every run is strictly ascending with
+// entries in [0, len(ids)).
+func fromCSRSorted(ids []int64, offsets []int32, sorted []Vertex, ports []int32, nPrime int64) (*Graph, error) {
+	n := len(ids)
+	nbrs := make([]Vertex, len(sorted))
+	for i := range nbrs {
+		nbrs[i] = NilVertex
+	}
+	for v := 0; v < n; v++ {
+		o, e := offsets[v], offsets[v+1]
+		deg := e - o
+		for i := o; i < e; i++ {
+			p := ports[i]
+			if p < 0 || p >= deg {
+				return nil, fmt.Errorf("graph: vertex %d has port %d outside [0,%d)", v, p, deg)
+			}
+			if nbrs[o+p] != NilVertex {
+				return nil, fmt.Errorf("graph: vertex %d lists port %d twice", v, p)
+			}
+			nbrs[o+p] = sorted[i]
+		}
+	}
+	g := &Graph{ids: ids, offsets: offsets, nbrs: nbrs, sorted: sorted, nPrime: nPrime}
+	g.buildDerivedPresorted(ports)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildDerivedPresorted is the binary reader's counterpart of
+// buildDerived for graphs whose sorted adjacency (already in g) and
+// sorted->port permutation arrive with the payload: under identity
+// naming nothing needs sorting at all — ports IS the ID->port index —
+// and under other labelings only the ID co-sort remains.
+func (g *Graph) buildDerivedPresorted(ports []int32) {
+	n := len(g.ids)
+	arcs := len(g.nbrs)
+	g.buildIDIndex()
+	g.computeDegreeStats()
+	g.nbrIDs = make([]int64, arcs)
+	g.idSorted = make([]int64, arcs)
+	if g.identityIDs() {
+		g.idPort = ports
+		parallelBlocks(n, func(lo, hi Vertex) {
+			for i := g.offsets[lo]; i < g.offsets[hi]; i++ {
+				g.idSorted[i] = int64(g.sorted[i])
+				g.nbrIDs[i] = int64(g.nbrs[i])
+			}
+		})
+		return
+	}
+	g.idPort = make([]int32, arcs)
+	keys, portBits, portMask := g.idPortKeys(false)
+	parallelBlocks(n, func(lo, hi Vertex) {
+		for v := lo; v < hi; v++ {
+			o, e := g.offsets[v], g.offsets[v+1]
+			idRun := g.nbrIDs[o:e]
+			for i, w := range g.nbrs[o:e] {
+				idRun[i] = g.ids[w]
+			}
+			g.coSortIDPort(o, e, keys, portBits, portMask)
+		}
+	})
 }
 
 // Clone returns a deep copy of g.

@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelBlocks runs f over the vertex range [0, n) split into
+// fixed-size blocks handed to GOMAXPROCS goroutines via an atomic
+// cursor, so degree-skewed graphs still balance. Small ranges run
+// inline — per-graph derived-array assembly must not pay goroutine
+// overhead at the n of unit tests. f must be safe for concurrent
+// calls on disjoint ranges.
+func parallelBlocks(n int, f func(lo, hi Vertex)) {
+	const blockSize = 1024
+	workers := runtime.GOMAXPROCS(0)
+	if blocks := (n + blockSize - 1) / blockSize; workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		f(0, Vertex(n))
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(blockSize)) - blockSize
+				if lo >= n {
+					return
+				}
+				f(Vertex(lo), Vertex(min(lo+blockSize, n)))
+			}
+		}()
+	}
+	wg.Wait()
+}

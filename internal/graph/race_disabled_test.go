@@ -1,0 +1,8 @@
+//go:build !race
+
+package graph
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-regression gates skip under it (instrumentation changes
+// allocation counts).
+const raceEnabled = false

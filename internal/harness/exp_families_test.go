@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"fnr/internal/graph"
+)
+
+// workloadHash digests an E12 workload: the graph's full observable
+// topology (sizes, ID table, adjacency in port order) plus the start
+// pair drawn from the same stream.
+func workloadHash(w workload) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	g := w.g
+	put(uint64(g.N()))
+	put(uint64(g.NPrime()))
+	for v := graph.Vertex(0); int(v) < g.N(); v++ {
+		put(uint64(g.ID(v)))
+	}
+	for v := graph.Vertex(0); int(v) < g.N(); v++ {
+		put(uint64(g.Degree(v)))
+		for _, u := range g.Adj(v) {
+			put(uint64(u))
+		}
+	}
+	put(uint64(w.sa))
+	put(uint64(w.sb))
+	return h.Sum64()
+}
+
+// TestE12WorkloadStreamsPinned pins the per-family draw streams of the
+// E12 sweep after their re-seeding from (n, familyIndex): each family
+// now generates from its own PCG stream, so the sweep parallelizes
+// like E1–E3. If a hash moves, the derivation (or a generator's draw
+// sequence) changed and every recorded E12 table is invalidated.
+func TestE12WorkloadStreamsPinned(t *testing.T) {
+	want := map[int][]uint64{
+		128: {0xb136116dcf2af37c, 0x468a2ca491b3c202, 0xa7e32e84564e34ee, 0xd4414a691426ba93, 0x7e50f5da82ffbdf7},
+		512: {0xc8be577aaafd244b, 0xbc1528b9ca0b8267, 0xc7b29f17b913f2de, 0x6d8761aa46e60110, 0xc854fff6e18fc044},
+	}
+	for _, n := range []int{128, 512} {
+		families := e12Families(n)
+		if len(families) != len(want[n]) {
+			t.Fatalf("n=%d: %d families, want %d", n, len(families), len(want[n]))
+		}
+		for i, f := range families {
+			w, err := e12Workload(n, i, f)
+			if err != nil {
+				t.Fatalf("n=%d family %q: %v", n, f.name, err)
+			}
+			if h := workloadHash(w); h != want[n][i] {
+				t.Errorf("n=%d family %q: workload hash = %#x, want %#x", n, f.name, h, want[n][i])
+			}
+		}
+	}
+}
+
+// TestE12WorkloadsParallelDeterministic pins that the parallel fan-out
+// returns the same workloads at any worker count.
+func TestE12WorkloadsParallelDeterministic(t *testing.T) {
+	n := 128
+	families := e12Families(n)
+	w1, err := e12Workloads(Config{Workers: 1}.withDefaults(), n, families)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8, err := e12Workloads(Config{Workers: 8}.withDefaults(), n, families)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1 {
+		if !w1[i].g.Equal(w8[i].g) || w1[i].sa != w8[i].sa || w1[i].sb != w8[i].sb {
+			t.Errorf("family %d: workloads differ across worker counts", i)
+		}
+	}
+}

@@ -164,22 +164,20 @@ type workload struct {
 	sa, sb graph.Vertex
 }
 
-// plantedWorkloads generates the specs' workload instances in parallel
-// across the engine worker pool. Each instance depends only on its own
-// (n, d, seed) triple, so the fan-out is deterministic — parallelism
-// changes wall-clock time only. Scaling experiments front-load their
-// per-config graph generation through this instead of generating
-// serially inside the measurement loop.
-func plantedWorkloads(cfg Config, specs []workloadSpec) ([]workload, error) {
+// genWorkloads fans count workload generations across the engine
+// worker pool and returns them in index order, failing on the
+// lowest-index error. gen(i) must depend only on i, so the fan-out is
+// deterministic — parallelism changes wall-clock time only.
+func genWorkloads(cfg Config, count int, gen func(i int) (workload, error)) ([]workload, error) {
 	type result struct {
 		w   workload
 		err error
 	}
-	results := engine.Trials(cfg.Workers, len(specs), func(i int) result {
-		g, sa, sb, err := plantedWorkload(specs[i].n, specs[i].d, specs[i].seed)
-		return result{workload{g: g, sa: sa, sb: sb}, err}
+	results := engine.Trials(cfg.Workers, count, func(i int) result {
+		w, err := gen(i)
+		return result{w, err}
 	})
-	out := make([]workload, len(specs))
+	out := make([]workload, count)
 	for i, r := range results {
 		if r.err != nil {
 			return nil, r.err
@@ -187,6 +185,18 @@ func plantedWorkloads(cfg Config, specs []workloadSpec) ([]workload, error) {
 		out[i] = r.w
 	}
 	return out, nil
+}
+
+// plantedWorkloads generates the specs' workload instances in parallel
+// across the engine worker pool. Each instance depends only on its own
+// (n, d, seed) triple. Scaling experiments front-load their per-config
+// graph generation through this instead of generating serially inside
+// the measurement loop.
+func plantedWorkloads(cfg Config, specs []workloadSpec) ([]workload, error) {
+	return genWorkloads(cfg, len(specs), func(i int) (workload, error) {
+		g, sa, sb, err := plantedWorkload(specs[i].n, specs[i].d, specs[i].seed)
+		return workload{g: g, sa: sa, sb: sb}, err
+	})
 }
 
 // runPair executes one bespoke rendezvous trial (custom program

@@ -17,11 +17,12 @@ type Program func(e *Env)
 // vertex and the actions it may take. An Env is only valid inside the
 // Program it was passed to and must not be shared across goroutines.
 type Env struct {
-	name   AgentName
-	nPrime int64
-	kt1    bool
-	boards bool
-	rng    *rand.Rand
+	name    AgentName
+	nPrime  int64
+	kt1     bool
+	boards  bool
+	rng     *rand.Rand
+	scratch *AgentScratch
 	// Channel transport (goroutine-backed adapter); nil in pull mode.
 	viewCh  <-chan View
 	actCh   chan<- Action
@@ -50,6 +51,11 @@ func (e *Env) NPrime() int64 { return e.nPrime }
 
 // Rand returns the agent's private deterministic random stream.
 func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Scratch returns the agent's reusable scratch slot on the driving
+// trial context, or nil when the runtime offers no cross-trial reuse.
+// See AgentScratch for the contract.
+func (e *Env) Scratch() *AgentScratch { return e.scratch }
 
 // HasNeighborIDs reports whether the run grants access to neighborhood
 // IDs (the KT1-style assumption).
@@ -230,14 +236,15 @@ func newChanProgramStepper(prog Program) *chanProgramStepper {
 // delivers the round-0 view.
 func (ps *chanProgramStepper) Init(ctx *StepContext) {
 	ps.env = &Env{
-		name:   ctx.Name,
-		nPrime: ctx.NPrime,
-		kt1:    ctx.NeighborIDs,
-		boards: ctx.Whiteboards,
-		rng:    ctx.Rand,
-		viewCh: ps.viewCh,
-		actCh:  ps.actCh,
-		done:   ps.done,
+		name:    ctx.Name,
+		nPrime:  ctx.NPrime,
+		kt1:     ctx.NeighborIDs,
+		boards:  ctx.Whiteboards,
+		rng:     ctx.Rand,
+		scratch: ctx.Scratch,
+		viewCh:  ps.viewCh,
+		actCh:   ps.actCh,
+		done:    ps.done,
 	}
 	ps.started = true
 	go func() {

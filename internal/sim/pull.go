@@ -38,12 +38,13 @@ type pullProgramStepper struct {
 
 func (ps *pullProgramStepper) Init(ctx *StepContext) {
 	ps.env = &Env{
-		name:   ctx.Name,
-		nPrime: ctx.NPrime,
-		kt1:    ctx.NeighborIDs,
-		boards: ctx.Whiteboards,
-		rng:    ctx.Rand,
-		pull:   ps,
+		name:    ctx.Name,
+		nPrime:  ctx.NPrime,
+		kt1:     ctx.NeighborIDs,
+		boards:  ctx.Whiteboards,
+		rng:     ctx.Rand,
+		scratch: ctx.Scratch,
+		pull:    ps,
 	}
 	seq := func(yield func(Action) bool) {
 		ps.yieldFn = yield

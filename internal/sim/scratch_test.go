@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"fnr/internal/graph"
+)
+
+// scratchProbe records which scratch values it saw across runs.
+type scratchProbe struct {
+	seen []any
+}
+
+type scratchStepper struct {
+	probe *scratchProbe
+	mark  int
+}
+
+func (s *scratchStepper) Init(ctx *StepContext) {
+	s.probe.seen = append(s.probe.seen, ctx.Scratch.Get())
+	ctx.Scratch.Set(s.mark)
+}
+
+func (s *scratchStepper) Next(v *View) Action { return Halt() }
+
+// TestTrialContextScratchPersists pins the AgentScratch contract: a
+// value parked during one trial is handed back, per agent, on the next
+// trial of the same TrialContext — and fresh contexts start empty.
+func TestTrialContextScratchPersists(t *testing.T) {
+	g, err := graph.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Graph: g, StartA: 0, StartB: 1, MaxRounds: 4}
+	tc := NewTrialContext()
+	pa, pb := &scratchProbe{}, &scratchProbe{}
+	for trial := 0; trial < 3; trial++ {
+		a := &scratchStepper{probe: pa, mark: 10 + trial}
+		b := &scratchStepper{probe: pb, mark: 20 + trial}
+		if _, err := tc.RunSteppers(cfg, a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantA := []any{nil, 10, 11}
+	wantB := []any{nil, 20, 21}
+	for i := range wantA {
+		if pa.seen[i] != wantA[i] || pb.seen[i] != wantB[i] {
+			t.Fatalf("scratch history a=%v b=%v, want a=%v b=%v", pa.seen, pb.seen, wantA, wantB)
+		}
+	}
+	// A fresh context must not see the old scratch.
+	p := &scratchProbe{}
+	if _, err := RunSteppers(cfg, &scratchStepper{probe: p, mark: 0}, &scratchStepper{probe: &scratchProbe{}, mark: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if p.seen[0] != nil {
+		t.Fatalf("fresh TrialContext leaked scratch %v", p.seen[0])
+	}
+	// Nil slots (hand-built contexts) must be safe no-ops.
+	var nilSlot *AgentScratch
+	if nilSlot.Get() != nil {
+		t.Fatal("nil AgentScratch.Get != nil")
+	}
+	nilSlot.Set(5) // must not panic
+}

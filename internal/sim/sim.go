@@ -211,6 +211,7 @@ func runSteppers(cfg Config, tc *TrialContext, stA, stB Stepper) (*Result, error
 			NeighborIDs: cfg.NeighborIDs,
 			Whiteboards: cfg.Whiteboards,
 			Rand:        tc.randFor(i, seed, streams[i]),
+			Scratch:     &tc.scratch[i],
 		}
 		st.Init(&ctx)
 	}

@@ -51,6 +51,35 @@ type StepContext struct {
 	// Rand is the agent's private deterministic random stream, seeded
 	// from (Config.Seed, agent name) exactly as on the Program path.
 	Rand *rand.Rand
+	// Scratch is this agent's reusable scratch slot on the trial
+	// context driving the run, or nil when the runtime offers no reuse
+	// (hand-built contexts in tests). See AgentScratch.
+	Scratch *AgentScratch
+}
+
+// AgentScratch is one agent's opaque scratch slot on a TrialContext.
+// An algorithm implementation may park reusable per-run state here
+// (large lookup tables, counters) and find it again on the next trial
+// run by the same worker, turning Θ(n)-per-trial allocations into
+// one-time warm-up cost. The simulator never touches the value; like
+// every TrialContext buffer it must never influence results — a fresh
+// slot and a reused slot have to produce identical runs (the engine's
+// differential suite enforces this for the paper's algorithms).
+type AgentScratch struct{ v any }
+
+// Get returns the parked value, or nil on a fresh (or absent) slot.
+func (s *AgentScratch) Get() any {
+	if s == nil {
+		return nil
+	}
+	return s.v
+}
+
+// Set parks a value on the slot (a no-op on a nil slot).
+func (s *AgentScratch) Set(v any) {
+	if s != nil {
+		s.v = v
+	}
 }
 
 // View is the per-round observation handed to an agent: the state of
@@ -161,14 +190,16 @@ func (a Action) WithWrite(val int64) Action {
 type stopper interface{ stop() }
 
 // TrialContext owns the per-trial scratch of the stepper fast path —
-// the whiteboard array and both agents' PCG state — so that a worker
-// running many trials in sequence allocates (almost) nothing per
-// trial. A TrialContext is not safe for concurrent use; give each
+// the whiteboard array, both agents' PCG state, and one opaque
+// AgentScratch slot per agent for algorithm-side reuse — so that a
+// worker running many trials in sequence allocates (almost) nothing
+// per trial. A TrialContext is not safe for concurrent use; give each
 // worker goroutine its own.
 type TrialContext struct {
-	boards []int64
-	pcg    [2]*rand.PCG
-	rand   [2]*rand.Rand
+	boards  []int64
+	pcg     [2]*rand.PCG
+	rand    [2]*rand.Rand
+	scratch [2]AgentScratch // per-agent algorithm scratch (see AgentScratch)
 }
 
 // NewTrialContext returns an empty reusable trial context.
