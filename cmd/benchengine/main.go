@@ -56,6 +56,17 @@ type batchReport struct {
 	// the goroutine-free path gains over the goroutine path, serial
 	// against serial.
 	StepperSpeedup float64 `json:"stepper_speedup"`
+	// NativeSetupElapsedMS and CoroutineSetupElapsedMS time the pure
+	// per-trial stepper setup cost over setup-cycles build+Init+Finish
+	// cycles: the registered native state machines against the same
+	// strategy's Programs hosted on iter.Pull coroutines
+	// (ProgramStepper) — the setup the fast path paid for the paper's
+	// algorithms before their native rewrite. Machine-dependent, like
+	// every elapsed field.
+	NativeSetupElapsedMS    int64 `json:"native_setup_elapsed_ms"`
+	CoroutineSetupElapsedMS int64 `json:"coroutine_setup_elapsed_ms"`
+	// SetupSpeedup is CoroutineSetupElapsedMS / NativeSetupElapsedMS.
+	SetupSpeedup float64 `json:"setup_speedup"`
 }
 
 // largeBatchReport times one large-preset batch: the stepper fast
@@ -69,6 +80,10 @@ type largeBatchReport struct {
 	ElapsedMS int64 `json:"elapsed_ms"`
 	// StepperElapsedMS is wall-clock at one worker.
 	StepperElapsedMS int64 `json:"stepper_elapsed_ms"`
+	// Setup costs, as in batchReport.
+	NativeSetupElapsedMS    int64   `json:"native_setup_elapsed_ms"`
+	CoroutineSetupElapsedMS int64   `json:"coroutine_setup_elapsed_ms"`
+	SetupSpeedup            float64 `json:"setup_speedup"`
 }
 
 // largeReport is the n=65536 scaling preset: generation and
@@ -167,6 +182,62 @@ func timeReads(g *fnr.Graph) *ioReport {
 	return rep
 }
 
+// timeSetups measures the pure per-trial stepper setup-and-teardown
+// cost of one strategy, cycles times over: build the pair, Init each
+// agent with a run-equivalent StepContext, Finish each. The native
+// loop builds the registered state machines; the coroutine loop hosts
+// the same strategy's Programs on ProgramStepper, whose Init creates
+// (and Finish unwinds) an iter.Pull coroutine per agent — what the
+// engine's fast path paid per trial for the paper's algorithms before
+// their native rewrite. GC-fenced; ms floored at 1.
+func timeSetups(name string, g *fnr.Graph, delta, cycles int, seed uint64) (nativeMS, coroMS int64) {
+	a, err := fnr.ParseAlgorithm(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var info fnr.AlgorithmInfo
+	for _, ai := range fnr.Algorithms() {
+		if ai.Name == name {
+			info = ai
+		}
+	}
+	opt := fnr.Options{Delta: delta}
+	initAndFinish := func(sa, sb fnr.Stepper) {
+		for i, st := range []fnr.Stepper{sa, sb} {
+			ctx := fnr.StepContext{
+				Name:        fnr.AgentName(i),
+				NPrime:      g.NPrime(),
+				NeighborIDs: info.NeedsNeighborIDs,
+				Whiteboards: info.NeedsWhiteboards,
+				Rand:        rand.New(rand.NewPCG(seed, uint64(0xA+i))),
+			}
+			st.Init(&ctx)
+			fnr.FinishStepper(st)
+		}
+	}
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < cycles; i++ {
+		sa, sb, err := fnr.BuildSteppers(a, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		initAndFinish(sa, sb)
+	}
+	nativeMS = max(time.Since(start).Milliseconds(), 1)
+	runtime.GC()
+	start = time.Now()
+	for i := 0; i < cycles; i++ {
+		pa, pb, err := fnr.BuildPrograms(a, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		initAndFinish(fnr.ProgramStepper(pa), fnr.ProgramStepper(pb))
+	}
+	coroMS = max(time.Since(start).Milliseconds(), 1)
+	return nativeMS, coroMS
+}
+
 // timedRun executes the batch and returns its aggregate with
 // wall-clock milliseconds (minimum 1, so speedup ratios stay finite).
 func timedRun(b fnr.Batch) (*fnr.Aggregate, int64) {
@@ -211,6 +282,7 @@ func main() {
 		largeN      = flag.Int("large-n", 65536, "large preset graph size")
 		largeD      = flag.Int("large-d", 256, "large preset planted minimum degree")
 		largeTrials = flag.Int("large-trials", 20, "large preset trials")
+		setupCycles = flag.Int("setup-cycles", 10000, "build+Init+Finish cycles per stepper setup-cost measurement")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
 	)
 	flag.Parse()
@@ -274,12 +346,16 @@ func main() {
 		if *serialAgg != *agg || *stepperAgg != *agg {
 			log.Fatalf("%s: aggregates differ across paths/workers — engine determinism broken", name)
 		}
+		nativeSetup, coroSetup := timeSetups(name, g, g.MinDegree(), *setupCycles, *seed)
 		rep.Batches[name] = batchReport{
-			Aggregate:        agg,
-			ElapsedMS:        elapsed,
-			SerialElapsedMS:  serialElapsed,
-			StepperElapsedMS: stepperElapsed,
-			StepperSpeedup:   float64(serialElapsed) / float64(stepperElapsed),
+			Aggregate:               agg,
+			ElapsedMS:               elapsed,
+			SerialElapsedMS:         serialElapsed,
+			StepperElapsedMS:        stepperElapsed,
+			StepperSpeedup:          float64(serialElapsed) / float64(stepperElapsed),
+			NativeSetupElapsedMS:    nativeSetup,
+			CoroutineSetupElapsedMS: coroSetup,
+			SetupSpeedup:            float64(coroSetup) / float64(nativeSetup),
 		}
 	}
 
@@ -307,10 +383,14 @@ func main() {
 			if *stepperAgg != *agg {
 				log.Fatalf("large %s: aggregates differ across worker counts — engine determinism broken", name)
 			}
+			nativeSetup, coroSetup := timeSetups(name, lg, lg.MinDegree(), *setupCycles, *seed)
 			lrep.Batches[name] = largeBatchReport{
-				Aggregate:        agg,
-				ElapsedMS:        elapsed,
-				StepperElapsedMS: stepperElapsed,
+				Aggregate:               agg,
+				ElapsedMS:               elapsed,
+				StepperElapsedMS:        stepperElapsed,
+				NativeSetupElapsedMS:    nativeSetup,
+				CoroutineSetupElapsedMS: coroSetup,
+				SetupSpeedup:            float64(coroSetup) / float64(nativeSetup),
 			}
 		}
 		rep.Large = lrep
@@ -334,6 +414,8 @@ func main() {
 		b := rep.Batches[name]
 		log.Printf("%s: stepper %dms vs goroutine %dms serial (%.1fx), %dms at %d workers",
 			name, b.StepperElapsedMS, b.SerialElapsedMS, b.StepperSpeedup, b.ElapsedMS, workers)
+		log.Printf("%s setup: native %dms vs coroutine %dms per %d cycles (%.1fx)",
+			name, b.NativeSetupElapsedMS, b.CoroutineSetupElapsedMS, *setupCycles, b.SetupSpeedup)
 	}
 	log.Printf("read n=%d: binary %dms (%d bytes) vs text %dms (%d bytes), %.1fx",
 		*n, rep.IO.ReadElapsedMS, rep.IO.Bytes, rep.IO.ReadTextElapsedMS, rep.IO.TextBytes, rep.IO.ReadSpeedup)
@@ -344,6 +426,8 @@ func main() {
 		for name, b := range rep.Large.Batches {
 			log.Printf("large %s: %d trials, stepper %dms at 1 worker, %dms at %d workers",
 				name, rep.Large.Trials, b.StepperElapsedMS, b.ElapsedMS, workers)
+			log.Printf("large %s setup: native %dms vs coroutine %dms per %d cycles (%.1fx)",
+				name, b.NativeSetupElapsedMS, b.CoroutineSetupElapsedMS, *setupCycles, b.SetupSpeedup)
 		}
 	}
 	log.Printf("wrote %s", *out)

@@ -77,8 +77,14 @@ type (
 	// Stepper is a mobile-agent algorithm in state-machine style —
 	// the goroutine-free fast path for batch trials.
 	Stepper = sim.Stepper
+	// StepperFinisher is the optional stepper-lifecycle hook: a
+	// Stepper owning execution resources implements Finish, and the
+	// runtime guarantees it runs on every exit path of a run.
+	StepperFinisher = sim.Finisher
 	// StepContext carries the run-constant inputs to a Stepper's Init.
 	StepContext = sim.StepContext
+	// AgentName identifies one of the two agents (AgentA or AgentB).
+	AgentName = sim.AgentName
 	// AgentScratch is a per-agent reusable scratch slot on the batch
 	// engine's trial contexts; long-lived strategies can park state
 	// there across trials (see StepContext.Scratch).
@@ -103,6 +109,12 @@ type (
 
 // NoMark is the empty-whiteboard sentinel.
 const NoMark = sim.NoMark
+
+// The two agents of a run.
+const (
+	AgentA = sim.AgentA
+	AgentB = sim.AgentB
+)
 
 // Graph generators, re-exported from the graph substrate.
 var (
@@ -165,6 +177,10 @@ var (
 	// AlgorithmSteppersFromPrograms lifts an AlgorithmSpec.Build
 	// function into a BuildSteppers function using ProgramStepper.
 	AlgorithmSteppersFromPrograms = algo.SteppersFromPrograms
+	// FinishStepper releases a stepper's execution resources if it
+	// implements StepperFinisher (safe on nil) — call it on steppers
+	// that were built but never handed to a run.
+	FinishStepper = sim.Finish
 )
 
 // Experiments returns the full reproduction suite (E1–E10, A1, A2).
@@ -331,6 +347,54 @@ type Options struct {
 	NoboardStats *NoboardStats
 }
 
+// buildOpts lowers Options to the registry builders' input.
+func buildOpts(opt Options) algo.BuildOpts {
+	params := opt.Params
+	if params == (Params{}) {
+		params = core.PracticalParams()
+	}
+	return algo.BuildOpts{
+		Params:          params,
+		Delta:           opt.Delta,
+		WhiteboardStats: opt.WhiteboardStats,
+		NoboardStats:    opt.NoboardStats,
+	}
+}
+
+// BuildPrograms constructs one run's direct-style Program pair for a
+// registered algorithm — the building block for driving a registered
+// strategy through RunPrograms with a custom SimConfig. Programs are
+// stateful: build a fresh pair per run.
+func BuildPrograms(a Algorithm, opt Options) (Program, Program, error) {
+	spec, err := specOf(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	progA, progB, err := spec.Programs(buildOpts(opt))
+	if err != nil {
+		return nil, nil, fmt.Errorf("fnr: %w", err)
+	}
+	return progA, progB, nil
+}
+
+// BuildSteppers constructs one run's Stepper pair for a registered
+// algorithm — the state-machine counterpart of BuildPrograms, for
+// RunSteppers. It fails for algorithms without a stepper builder
+// (those run on the Program path only). Steppers are stateful: build
+// a fresh pair per run, and FinishStepper any pair that is never
+// handed to a run.
+func BuildSteppers(a Algorithm, opt Options) (Stepper, Stepper, error) {
+	spec, err := specOf(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	stA, stB, err := spec.Steppers(buildOpts(opt))
+	if err != nil {
+		return nil, nil, fmt.Errorf("fnr: %w", err)
+	}
+	return stA, stB, nil
+}
+
 // Rendezvous runs the selected strategy for two agents starting on
 // startA and startB (which the paper's algorithms require to be
 // adjacent) and reports the outcome. The strategy is resolved through
@@ -345,16 +409,7 @@ func Rendezvous(g *Graph, startA, startB Vertex, a Algorithm, opt Options) (*Res
 	if err != nil {
 		return nil, err
 	}
-	params := opt.Params
-	if params == (Params{}) {
-		params = core.PracticalParams()
-	}
-	progA, progB, err := spec.Programs(algo.BuildOpts{
-		Params:          params,
-		Delta:           opt.Delta,
-		WhiteboardStats: opt.WhiteboardStats,
-		NoboardStats:    opt.NoboardStats,
-	})
+	progA, progB, err := spec.Programs(buildOpts(opt))
 	if err != nil {
 		return nil, fmt.Errorf("fnr: %w", err)
 	}

@@ -6,10 +6,14 @@
 //
 //	import _ "fnr/internal/algo/paper"
 //
-// Both algorithms stay in direct style (they are intricate, multi-phase
-// programs); their stepper builders come from algo.SteppersFromPrograms,
-// which hosts the same programs on coroutines so batch trials still
-// skip the goroutine+channel handoffs of the classic Program path.
+// Both algorithms register twice over: Build constructs the
+// direct-style Program pair (the readable reference implementation),
+// while BuildSteppers constructs the native state-machine steppers of
+// core's stepper_a.go / stepper_b.go — no per-trial iter.Pull
+// coroutine, no program-closure setup, which is what the engine's
+// fast path runs. The two forms are held byte-identical (actions, RNG
+// draw order, stats) by the differential suites in internal/engine
+// and internal/core.
 package paper
 
 import (
@@ -26,23 +30,30 @@ func init() {
 		return a, b, nil
 	}
 	algo.Register(algo.Spec{
-		Name:          "whiteboard",
-		Order:         0,
-		Summary:       "Theorem 1: Construct + Main-Rendezvous, O(n/δ·log²n + √(n∆/δ)·log n) w.h.p.; needs whiteboards and neighbor IDs",
-		Caps:          algo.Caps{NeighborIDs: true, Whiteboards: true},
-		Build:         buildWhiteboard,
-		BuildSteppers: algo.SteppersFromPrograms(buildWhiteboard),
+		Name:    "whiteboard",
+		Order:   0,
+		Summary: "Theorem 1: Construct + Main-Rendezvous, O(n/δ·log²n + √(n∆/δ)·log n) w.h.p.; needs whiteboards and neighbor IDs",
+		Caps:    algo.Caps{NeighborIDs: true, Whiteboards: true},
+		Build:   buildWhiteboard,
+		BuildSteppers: func(o algo.BuildOpts) (a, b sim.Stepper, err error) {
+			know := core.Knowledge{Delta: o.Delta, Doubling: o.Delta <= 0}
+			a, b = core.WhiteboardSteppers(o.Params, know, o.WhiteboardStats)
+			return a, b, nil
+		},
 	})
 	buildNoboard := func(o algo.BuildOpts) (a, b sim.Program, err error) {
 		a, b = core.NoboardAgents(o.Params, o.Delta, o.NoboardStats)
 		return a, b, nil
 	}
 	algo.Register(algo.Spec{
-		Name:          "noboard",
-		Order:         1,
-		Summary:       "Theorem 2: whiteboard-free rendezvous, O(n/√δ·log²n) w.h.p.; needs neighbor IDs, tight naming and known δ",
-		Caps:          algo.Caps{NeighborIDs: true, NeedsDelta: true},
-		Build:         buildNoboard,
-		BuildSteppers: algo.SteppersFromPrograms(buildNoboard),
+		Name:    "noboard",
+		Order:   1,
+		Summary: "Theorem 2: whiteboard-free rendezvous, O(n/√δ·log²n) w.h.p.; needs neighbor IDs, tight naming and known δ",
+		Caps:    algo.Caps{NeighborIDs: true, NeedsDelta: true},
+		Build:   buildNoboard,
+		BuildSteppers: func(o algo.BuildOpts) (a, b sim.Stepper, err error) {
+			a, b = core.NoboardSteppers(o.Params, o.Delta, o.NoboardStats)
+			return a, b, nil
+		},
 	})
 }

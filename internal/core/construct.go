@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"math"
 
 	"fnr/internal/sim"
 )
@@ -48,43 +47,20 @@ func (w *walker) sampleRun(gamma []int64, alpha float64, st *WhiteboardStats) ([
 	if len(gamma) == 0 || alpha <= 0 {
 		return nil, nil
 	}
-	m := int(math.Ceil(w.p.SampleMult * float64(len(gamma)) * w.lnN / alpha))
-	if m < 1 {
-		m = 1
-	}
-	// Counters live at each vertex's position in npHomeL (counts only
-	// ever exist for N+(home)), so the inner loop is one index lookup
-	// and an array bump per observed neighbor. The counter array is
-	// walker scratch: zeroed per call (O(∆), dwarfed by the visits the
-	// call pays for), allocated once per worker.
-	ws := w.s
-	if cap(ws.counts) < len(ws.npHomeL) {
-		ws.counts = make([]int32, len(ws.npHomeL))
-	}
-	counts := ws.counts[:len(ws.npHomeL)]
-	clear(counts)
+	m := w.sampleSize(len(gamma), alpha)
+	w.sampleReset()
 	rng := w.e.Rand()
 	for i := 0; i < m; i++ {
 		v := gamma[rng.IntN(len(gamma))]
 		if v == w.home {
-			// Visiting home is free; N+(home) ∩ N+(home) is everything.
-			for j := range counts {
-				counts[j]++
-			}
+			w.sampleObserveHome()
 			continue
 		}
 		if err := w.goTo(v); err != nil {
 			return nil, err
 		}
 		self, nbs := w.observeHere()
-		if j := ws.npIdx.get(self); j >= 0 {
-			counts[j]++
-		}
-		for _, u := range nbs {
-			if j := ws.npIdx.get(u); j >= 0 {
-				counts[j]++
-			}
-		}
+		w.sampleObserve(self, nbs)
 		if err := w.goHome(); err != nil {
 			return nil, err
 		}
@@ -92,18 +68,7 @@ func (w *walker) sampleRun(gamma []int64, alpha float64, st *WhiteboardStats) ([
 			st.SampleVisits++
 		}
 	}
-	threshold := int32(math.Ceil(w.p.HeavyThresholdMult * w.lnN))
-	// The heavy list is scratch too: every caller consumes it before
-	// the next sampleRun (markHeavy immediately, or a copy for the
-	// Lemma-2 report).
-	heavy := ws.heavy[:0]
-	for j, u := range ws.npHomeL {
-		if counts[j] >= threshold {
-			heavy = append(heavy, u)
-		}
-	}
-	ws.heavy = heavy
-	return heavy, nil
+	return w.sampleHeavy(), nil
 }
 
 // constructDense implements Algorithm 3, Construct: grow S ⊆ N+(home)
@@ -122,38 +87,18 @@ func (w *walker) sampleRun(gamma []int64, alpha float64, st *WhiteboardStats) ([
 //
 // On a doubling-estimation violation the walker returns home and a
 // *restartError is returned.
-func constructDense(e *sim.Env, p Params, deltaEst float64, doubling bool, st *WhiteboardStats) (*walker, error) {
+func constructDense(e *sim.Env, p *Params, deltaEst float64, doubling bool, st *WhiteboardStats) (*walker, error) {
 	w := newWalker(e, p, deltaEst, doubling)
 	if err := w.checkDegree(); err != nil {
 		return nil, err // home itself violates the estimate
 	}
 	ws := w.s
-	// inH is indexed by npHomeL position: heavy classification only
-	// ever applies to members of N+(home). It and the candidate list
-	// are walker scratch, reused across trials.
-	if cap(ws.inH) < len(ws.npHomeL) {
-		ws.inH = make([]bool, len(ws.npHomeL))
-	}
-	inH := ws.inH[:len(ws.npHomeL)]
-	clear(inH)
+	// The H marks and candidate list are walker scratch, reused across
+	// trials (see the walkerCore helpers).
+	w.resetHeavyMarks()
 	gamma := w.learn(w.home, ws.homeNb) // NS ← N+(home); Γ₁ = N+(home)
 	rng := e.Rand()
 
-	markHeavy := func(ids []int64) {
-		for _, u := range ids {
-			inH[ws.npIdx.get(u)] = true
-		}
-	}
-	candidates := func() []int64 {
-		r := ws.cand[:0]
-		for j, u := range ws.npHomeL {
-			if !inH[j] {
-				r = append(r, u)
-			}
-		}
-		ws.cand = r
-		return r
-	}
 	goHomeAndReturn := func(err error) (*walker, error) {
 		var re *restartError
 		if errors.As(err, &re) {
@@ -185,17 +130,14 @@ func constructDense(e *sim.Env, p Params, deltaEst float64, doubling bool, st *W
 		if err != nil {
 			return goHomeAndReturn(err)
 		}
-		markHeavy(heavy)
-		r := candidates()
+		w.markHeavy(heavy)
+		r := w.candidates()
 		if len(r) == 0 {
 			break
 		}
 		// Step 2: probe up to ⌈ProbeMult·ln n⌉ random candidates,
 		// checking lightness exactly by visiting.
-		probes := int(math.Ceil(p.ProbeMult * w.lnN))
-		if probes < 1 {
-			probes = 1
-		}
+		probes := w.probeBudget()
 		var chosen int64
 		found := false
 		for j := 0; j < probes; j++ {
@@ -220,9 +162,9 @@ func constructDense(e *sim.Env, p Params, deltaEst float64, doubling bool, st *W
 			if err != nil {
 				return goHomeAndReturn(err)
 			}
-			markHeavy(heavy)
+			w.markHeavy(heavy)
 			for {
-				r = candidates()
+				r = w.candidates()
 				if len(r) == 0 {
 					break
 				}
@@ -235,7 +177,7 @@ func constructDense(e *sim.Env, p Params, deltaEst float64, doubling bool, st *W
 					chosen, found = u, true
 					break
 				}
-				inH[ws.npIdx.get(u)] = true // exactly verified heavy
+				w.markHeavyOne(u) // exactly verified heavy
 			}
 			if !found {
 				break // R = ∅: N+(home) fully classified heavy

@@ -226,7 +226,8 @@ func TestWalkerNavigationErrors(t *testing.T) {
 	ghost := func(e *sim.Env) {}
 	ran := false
 	prog := func(e *sim.Env) {
-		w := newWalker(e, PracticalParams(), 1, false)
+		params := PracticalParams()
+		w := newWalker(e, &params, 1, false)
 		w.learn(w.home, w.s.homeNb)
 		if err := w.goTo(999); err == nil {
 			panic("goTo(999) succeeded for unknown vertex")

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"math/rand/v2"
 	"slices"
 
 	"fnr/internal/sim"
@@ -19,7 +21,21 @@ type noboardSchedule struct {
 	prob      float64
 }
 
-func newNoboardSchedule(p Params, nPrime int64, delta int) noboardSchedule {
+// newNoboardSchedule derives the schedule from (n', δ). Both agents
+// call it with identical inputs, so the phase barriers synchronize by
+// construction; the residency and β floors below are clamps on valid
+// inputs, not repairs of invalid ones — δ < 1 or n' < 1 violate the
+// paper's preconditions (the t' term divides by δ) and are rejected
+// explicitly instead of silently floored into a nonsense schedule
+// (float→int64 conversion of the +Inf barrier is not even
+// well-defined).
+func newNoboardSchedule(p Params, nPrime int64, delta int) (noboardSchedule, error) {
+	if delta < 1 {
+		return noboardSchedule{}, fmt.Errorf("core: Algorithm 4 requires a known minimum degree δ ≥ 1, got %d", delta)
+	}
+	if nPrime < 1 {
+		return noboardSchedule{}, fmt.Errorf("core: Algorithm 4 requires an ID-space bound n' ≥ 1, got %d", nPrime)
+	}
 	lnN := lnOf(nPrime)
 	d := float64(delta)
 	l := int64(math.Ceil(p.WaitMult * p.C2 * lnN))
@@ -37,7 +53,7 @@ func newNoboardSchedule(p Params, nPrime int64, delta int) noboardSchedule {
 		phaseLen:  l * l,
 		phases:    (nPrime + beta - 1) / beta,
 		prob:      math.Min(1, p.PhiMult*lnN/math.Sqrt(d)),
-	}
+	}, nil
 }
 
 // phaseEnd returns the global round at which phase i (1-based) ends.
@@ -97,8 +113,11 @@ func NoboardAgentA(p Params, delta int, st *NoboardStats) sim.Program {
 		if st != nil {
 			cst = &st.Construct
 		}
-		w := runConstruct(e, p, Knowledge{Delta: delta}, cst)
-		sched := newNoboardSchedule(p, e.NPrime(), delta)
+		w := runConstruct(e, &p, Knowledge{Delta: delta}, cst)
+		sched, err := newNoboardSchedule(p, e.NPrime(), delta)
+		if err != nil {
+			panic(err)
+		}
 		if st != nil {
 			st.TPrime = sched.tPrime
 			st.PhaseLen = sched.phaseLen
@@ -159,11 +178,17 @@ func NoboardAgentA(p Params, delta int, st *NoboardStats) sim.Program {
 // pausing two rounds at the start vertex between sweeps.
 func NoboardAgentB(p Params, delta int, st *NoboardStats) sim.Program {
 	return func(e *sim.Env) {
+		// Schedule derivation first: a δ < 1 input fails here, at round
+		// 0 and before any RNG draw, on both the Program and the native
+		// stepper path.
+		sched, err := newNoboardSchedule(p, e.NPrime(), delta)
+		if err != nil {
+			panic(err)
+		}
 		home := e.HereID()
 		np := make([]int64, 0, e.Degree()+1)
 		np = append(np, home)
 		np = append(np, e.NeighborIDs()...)
-		sched := newNoboardSchedule(p, e.NPrime(), delta)
 		phi := sampleSubset(e, np, sched.prob)
 		if st != nil {
 			st.PhiB = len(phi)
@@ -208,11 +233,13 @@ func NoboardAgentB(p Params, delta int, st *NoboardStats) sim.Program {
 	}
 }
 
-// sampleSubset returns the sorted subset of ids where each element is
-// kept independently with probability prob.
-func sampleSubset(e *sim.Env, ids []int64, prob float64) []int64 {
-	var out []int64
-	rng := e.Rand()
+// sampleSubsetInto returns the sorted subset of ids where each element
+// is kept independently with probability prob, appending into out
+// (reset to length 0) so batch callers can reuse a scratch buffer. The
+// draw sequence is one rng.Float64 per element, in order — shared by
+// the Program and native stepper forms.
+func sampleSubsetInto(rng *rand.Rand, out, ids []int64, prob float64) []int64 {
+	out = out[:0]
 	for _, v := range ids {
 		if rng.Float64() < prob {
 			out = append(out, v)
@@ -220,4 +247,9 @@ func sampleSubset(e *sim.Env, ids []int64, prob float64) []int64 {
 	}
 	slices.Sort(out)
 	return out
+}
+
+// sampleSubset is the Program-path form of sampleSubsetInto.
+func sampleSubset(e *sim.Env, ids []int64, prob float64) []int64 {
+	return sampleSubsetInto(e.Rand(), nil, ids, prob)
 }

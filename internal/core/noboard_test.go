@@ -10,7 +10,10 @@ import (
 
 func TestNoboardSchedule(t *testing.T) {
 	p := PracticalParams()
-	s := newNoboardSchedule(p, 1024, 256)
+	s, err := newNoboardSchedule(p, 1024, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.beta != 16 {
 		t.Errorf("beta = %d, want 16", s.beta)
 	}
@@ -30,8 +33,8 @@ func TestNoboardSchedule(t *testing.T) {
 		t.Error("phaseEnd arithmetic wrong")
 	}
 	// Both agents must derive the identical schedule.
-	if s2 := newNoboardSchedule(p, 1024, 256); s2 != s {
-		t.Error("schedule derivation not deterministic")
+	if s2, err := newNoboardSchedule(p, 1024, 256); err != nil || s2 != s {
+		t.Errorf("schedule derivation not deterministic (err=%v)", err)
 	}
 }
 
@@ -149,7 +152,10 @@ func TestNoboardFullScheduleRuns(t *testing.T) {
 	a, b := adjacentStarts(t, g)
 	st := &NoboardStats{}
 	progA, progB := NoboardAgents(PracticalParams(), g.MinDegree(), st)
-	sched := newNoboardSchedule(PracticalParams(), g.NPrime(), g.MinDegree())
+	sched, err := newNoboardSchedule(PracticalParams(), g.NPrime(), g.MinDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := sim.Run(sim.Config{
 		Graph: g, StartA: a, StartB: b,
 		NeighborIDs:    true,

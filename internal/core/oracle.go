@@ -46,7 +46,8 @@ func DenseSetOracle(g *graph.Graph, v0 graph.Vertex) (t []int64, via map[int64]i
 // distance-1 members). Pair it with AgentB.
 func MainPhaseAgentA(t []int64, via map[int64]int64) sim.Program {
 	return func(e *sim.Env) {
-		w := newWalker(e, PracticalParams(), 1, false)
+		params := PracticalParams()
+		w := newWalker(e, &params, 1, false)
 		for _, id := range t {
 			v, ok := via[id]
 			if !ok {

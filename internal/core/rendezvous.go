@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"slices"
 
 	"fnr/internal/sim"
@@ -23,7 +24,7 @@ func WhiteboardAgents(p Params, know Knowledge, st *WhiteboardStats) (a, b sim.P
 // and wait there. st may be nil.
 func AgentA(p Params, know Knowledge, st *WhiteboardStats) sim.Program {
 	return func(e *sim.Env) {
-		w := runConstruct(e, p, know, st)
+		w := runConstruct(e, &p, know, st)
 		mainRendezvousA(e, w)
 	}
 }
@@ -32,25 +33,69 @@ func AgentA(p Params, know Knowledge, st *WhiteboardStats) sim.Program {
 // exposing T^a through st for the Lemma 5–8 experiments.
 func ConstructOnly(p Params, know Knowledge, st *WhiteboardStats) sim.Program {
 	return func(e *sim.Env) {
-		runConstruct(e, p, know, st)
+		runConstruct(e, &p, know, st)
 	}
+}
+
+// constructPreflight validates the paper's δ ≥ 1 precondition as far
+// as it is observable at the start vertex, instead of silently
+// flooring the estimate: a degree-0 start (or a declared δ < 1
+// without doubling) would previously spin Construct's restart loop or
+// Main-Rendezvous's sampling loop forever without ever emitting an
+// action, hanging the run. Both agent forms (Program and native
+// stepper) fail through this one check so the two paths report the
+// identical error at the identical round.
+func constructPreflight(know Knowledge, homeDegree int) error {
+	// A degree-0 start contradicts δ ≥ 1 whatever the agent was told:
+	// with a declared δ the main phase would sample T^a = {home}
+	// forever without acting, with doubling the restart loop would
+	// never terminate.
+	if homeDegree == 0 {
+		return errors.New("core: start vertex has degree 0; the paper's algorithms require δ ≥ 1")
+	}
+	if !know.Doubling && know.Delta < 1 {
+		return fmt.Errorf("core: Construct requires a known minimum degree δ ≥ 1, got %d", know.Delta)
+	}
+	return nil
+}
+
+// initialDeltaEst derives the first δ' estimate: half the start
+// degree under §4.1 doubling (floored at 1 — a valid lower estimate,
+// not a precondition violation), the declared δ otherwise. Call after
+// constructPreflight.
+func initialDeltaEst(know Knowledge, homeDegree int) float64 {
+	if know.Doubling {
+		deltaEst := float64(homeDegree) / 2
+		if deltaEst < 1 {
+			deltaEst = 1
+		}
+		return deltaEst
+	}
+	return float64(know.Delta)
+}
+
+// halvedDeltaEst advances the doubling estimation after a restart. A
+// restart demanded at δ' = 1 is impossible on δ ≥ 1 inputs (every
+// visited vertex has the edge it was entered through), so instead of
+// flooring into an infinite restart loop it is reported as an error.
+func halvedDeltaEst(cur float64) (float64, error) {
+	if cur <= 1 {
+		return 0, errors.New("core: doubling estimation restarted at δ' = 1 — a visited vertex has degree 0, violating the δ ≥ 1 precondition")
+	}
+	next := cur / 2
+	if next < 1 {
+		next = 1
+	}
+	return next, nil
 }
 
 // runConstruct runs Construct under the requested δ-knowledge mode,
 // handling §4.1 doubling restarts.
-func runConstruct(e *sim.Env, p Params, know Knowledge, st *WhiteboardStats) *walker {
-	var deltaEst float64
-	if know.Doubling {
-		deltaEst = float64(e.Degree()) / 2
-		if deltaEst < 1 {
-			deltaEst = 1
-		}
-	} else {
-		deltaEst = float64(know.Delta)
-		if deltaEst < 1 {
-			deltaEst = 1
-		}
+func runConstruct(e *sim.Env, p *Params, know Knowledge, st *WhiteboardStats) *walker {
+	if err := constructPreflight(know, e.Degree()); err != nil {
+		panic(err)
 	}
+	deltaEst := initialDeltaEst(know, e.Degree())
 	for {
 		w, err := constructDense(e, p, deltaEst, know.Doubling, st)
 		if err == nil {
@@ -66,10 +111,11 @@ func runConstruct(e *sim.Env, p Params, know Knowledge, st *WhiteboardStats) *wa
 		if st != nil {
 			st.Restarts++
 		}
-		deltaEst /= 2
-		if deltaEst < 1 {
-			deltaEst = 1
+		next, derr := halvedDeltaEst(deltaEst)
+		if derr != nil {
+			panic(derr)
 		}
+		deltaEst = next
 	}
 }
 
@@ -157,7 +203,7 @@ type SampleReport struct {
 // Corollary 1 empirically.
 func SampleClassifier(p Params, delta int, rep *SampleReport) sim.Program {
 	return func(e *sim.Env) {
-		w := newWalker(e, p, float64(delta), false)
+		w := newWalker(e, &p, float64(delta), false)
 		gamma := w.learn(w.home, w.s.homeNb)
 		heavy, err := w.sampleRun(gamma, w.alpha(), nil)
 		if err != nil {

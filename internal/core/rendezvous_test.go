@@ -246,7 +246,10 @@ func TestMainPhaseAgentMeetsOnPlanted(t *testing.T) {
 func TestNoboardScheduleFloors(t *testing.T) {
 	p := PracticalParams()
 	// Degenerate δ = 1: the schedule must stay well-formed.
-	s := newNoboardSchedule(p, 16, 1)
+	s, err := newNoboardSchedule(p, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.beta < 1 || s.residency < 8 || s.phaseLen != s.residency*s.residency {
 		t.Fatalf("degenerate schedule malformed: %+v", s)
 	}

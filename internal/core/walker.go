@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"fnr/internal/sim"
 )
@@ -44,14 +45,17 @@ type walkerScratch struct {
 	// holds Γ_i across the learn call that produces Γ_{i+1}).
 	diff    [2][]int64
 	diffCur int
+	// phi is the Φ^a sample buffer of the native noboard stepper
+	// (Algorithm 4); the Program form allocates instead — results are
+	// identical either way.
+	phi []int64
 }
 
-// walkerScratchOf finds (or creates) the walker scratch parked on the
-// agent's trial-context slot. Without a slot (hand-built contexts,
-// plain sim.Run) every walker gets a fresh scratch — behaviorally
-// identical, just without the reuse.
-func walkerScratchOf(e *sim.Env) *walkerScratch {
-	slot := e.Scratch()
+// walkerScratchFor finds (or creates) the walker scratch parked on the
+// given trial-context slot. A nil slot (hand-built contexts, plain
+// sim.Run) yields a fresh scratch every time — behaviorally identical,
+// just without the reuse.
+func walkerScratchFor(slot *sim.AgentScratch) *walkerScratch {
 	if slot == nil {
 		return &walkerScratch{}
 	}
@@ -63,10 +67,13 @@ func walkerScratchOf(e *sim.Env) *walkerScratch {
 	return ws
 }
 
-// walker is agent a's bookkeeping: the learned 2-neighborhood of its
-// start vertex, with a via-vertex per known vertex so that any learned
-// vertex is reachable from home in at most two moves (the paper's
-// "shortest paths to all vertices in T^a" knowledge).
+// walkerCore is the runtime-agnostic part of agent a's bookkeeping:
+// the learned 2-neighborhood of the start vertex, the via table that
+// keeps every learned vertex within two moves of home, and the pure
+// arithmetic of Algorithms 2 and 3. The Program-path walker embeds it
+// and adds Env-driven movement; the native steppers drive the same
+// core from their state machines, so the two paths share every
+// decision computation (and cannot drift apart numerically).
 //
 // The ID-keyed state lives in the dense-or-map structures of
 // idspace.go: Sample's inner loop touches them once per observed
@@ -77,9 +84,8 @@ func walkerScratchOf(e *sim.Env) *walkerScratch {
 //   - s.homeNb: N(home) IDs in port order
 //   - s.npHomeL: N+(home) as a list (home first)
 //   - s.nsL: NS as a list, in discovery order
-type walker struct {
-	e        *sim.Env
-	p        Params
+type walkerCore struct {
+	p        *Params
 	s        *walkerScratch
 	lnN      float64
 	deltaEst float64 // current δ' (exact δ or the doubling estimate)
@@ -96,22 +102,27 @@ type walker struct {
 	lastSeenID int64
 }
 
-// newWalker snapshots the start vertex's neighborhood. Must be called
-// with the agent at its start vertex. Only one walker per agent is
-// ever live at a time (doubling restarts discard the old one before
-// constructing anew), so re-arming the shared scratch here is safe.
-func newWalker(e *sim.Env, p Params, deltaEst float64, doubling bool) *walker {
-	nPrime := e.NPrime()
-	s := walkerScratchOf(e)
-	s.homeNb = append(s.homeNb[:0], e.NeighborIDs()...)
-	w := &walker{
-		e:          e,
+// walker couples a walkerCore to the Program path's Env: movement
+// (goTo/goHome) and observation go through blocking Env calls.
+type walker struct {
+	walkerCore
+	e *sim.Env
+}
+
+// newWalkerCore snapshots the start vertex's neighborhood (home ID and
+// its neighbor list as observed there) and re-arms the shared scratch.
+// Only one core per agent is ever live at a time (doubling restarts
+// discard the old one before constructing anew), so re-arming here is
+// safe.
+func newWalkerCore(s *walkerScratch, nPrime int64, p *Params, deltaEst float64, doubling bool, home int64, homeNbs []int64) walkerCore {
+	s.homeNb = append(s.homeNb[:0], homeNbs...)
+	w := walkerCore{
 		p:          p,
 		s:          s,
 		lnN:        lnOf(nPrime),
 		deltaEst:   deltaEst,
 		doubling:   doubling,
-		home:       e.HereID(),
+		home:       home,
 		lastSeenID: -1,
 	}
 	s.via.init(nPrime, 2*len(s.homeNb))
@@ -131,19 +142,40 @@ func newWalker(e *sim.Env, p Params, deltaEst float64, doubling bool) *walker {
 	return w
 }
 
+// newWalker builds the Program-path walker. Must be called with the
+// agent at its start vertex.
+func newWalker(e *sim.Env, p *Params, deltaEst float64, doubling bool) *walker {
+	return &walker{
+		walkerCore: newWalkerCore(walkerScratchFor(e.Scratch()), e.NPrime(), p, deltaEst, doubling, e.HereID(), e.NeighborIDs()),
+		e:          e,
+	}
+}
+
 // alpha returns α = δ'/AlphaDen.
-func (w *walker) alpha() float64 { return w.deltaEst / w.p.AlphaDen }
+func (w *walkerCore) alpha() float64 { return w.deltaEst / w.p.AlphaDen }
 
 // lightBound returns the exact-check lightness threshold δ'/LightDen.
-func (w *walker) lightBound() float64 { return w.deltaEst / w.p.LightDen }
+func (w *walkerCore) lightBound() float64 { return w.deltaEst / w.p.LightDen }
+
+// degreeViolates reports whether a visited vertex of the given degree
+// violates the doubling-estimation invariant (§4.1).
+func (w *walkerCore) degreeViolates(degree int) bool {
+	return w.doubling && float64(degree) < w.deltaEst
+}
 
 // checkDegree enforces the doubling-estimation invariant on the vertex
 // the agent currently occupies.
 func (w *walker) checkDegree() error {
-	if w.doubling && float64(w.e.Degree()) < w.deltaEst {
+	if w.degreeViolates(w.e.Degree()) {
 		return &restartError{seenDegree: w.e.Degree()}
 	}
 	return nil
+}
+
+// viaOf returns the first hop from home toward the known vertex
+// target (possibly target itself when adjacent to home).
+func (w *walkerCore) viaOf(target int64) (int64, bool) {
+	return w.s.via.get(target)
 }
 
 // goTo moves from home to the known vertex target (≤ 2 moves) and
@@ -153,7 +185,7 @@ func (w *walker) goTo(target int64) error {
 	if target == w.home {
 		return nil
 	}
-	via, ok := w.s.via.get(target)
+	via, ok := w.viaOf(target)
 	if !ok {
 		return fmt.Errorf("core: goTo(%d): vertex unknown to walker", target)
 	}
@@ -179,7 +211,7 @@ func (w *walker) goHome() error {
 		return nil
 	}
 	if w.s.npIdx.get(cur) < 0 { // not adjacent to home: go via
-		via, ok := w.s.via.get(cur)
+		via, ok := w.viaOf(cur)
 		if !ok {
 			return fmt.Errorf("core: goHome from unknown vertex %d", cur)
 		}
@@ -202,7 +234,7 @@ func (w *walker) observeHere() (int64, []int64) {
 // and returns the list of vertices newly added to NS (the difference
 // set N+(S ∪ {x}) \ N+(S)). The returned slice stays valid until the
 // next learn call after it (the double buffer in s.diff).
-func (w *walker) learn(x int64, nbs []int64) []int64 {
+func (w *walkerCore) learn(x int64, nbs []int64) []int64 {
 	s := w.s
 	s.diffCur ^= 1
 	added := s.diff[s.diffCur][:0]
@@ -223,6 +255,13 @@ func (w *walker) learn(x int64, nbs []int64) []int64 {
 	return added
 }
 
+// noteLastSeen retains the observed neighborhood of the most recently
+// visited candidate (the single-entry cache behind cachedNeighborhood).
+func (w *walkerCore) noteLastSeen(self int64, nbs []int64) {
+	w.lastSeenID = self
+	w.s.lastSeenNb = append(w.s.lastSeenNb[:0], nbs...)
+}
+
 // exactCount returns |NS ∩ N+(u)| by visiting u, as the strict
 // decision of Algorithm 3 does (home is free: its neighborhood is
 // known). The observed neighborhood is retained as the single-entry
@@ -237,8 +276,7 @@ func (w *walker) exactCount(u int64) (int, error) {
 	}
 	self, nbs := w.observeHere()
 	cnt := w.countAgainstNS(self, nbs)
-	w.lastSeenID = self
-	w.s.lastSeenNb = append(w.s.lastSeenNb[:0], nbs...)
+	w.noteLastSeen(self, nbs)
 	if err := w.goHome(); err != nil {
 		return 0, err
 	}
@@ -247,7 +285,7 @@ func (w *walker) exactCount(u int64) (int, error) {
 
 // cachedNeighborhood returns u's full neighbor list if u is home or the
 // most recently visited candidate.
-func (w *walker) cachedNeighborhood(u int64) ([]int64, bool) {
+func (w *walkerCore) cachedNeighborhood(u int64) ([]int64, bool) {
 	if u == w.home {
 		return w.s.homeNb, true
 	}
@@ -262,12 +300,12 @@ func (w *walker) cachedNeighborhood(u int64) ([]int64, bool) {
 // dense idspace representations trade extra transient memory for
 // speed; the estimate deliberately counts logical entries, i.e. the
 // algorithm's information content.
-func (w *walker) memoryWords() int {
+func (w *walkerCore) memoryWords() int {
 	s := w.s
 	return len(s.homeNb) + len(s.npHomeL) + s.via.len() + len(s.nsL) + len(s.lastSeenNb)
 }
 
-func (w *walker) countAgainstNS(self int64, nbs []int64) int {
+func (w *walkerCore) countAgainstNS(self int64, nbs []int64) int {
 	cnt := 0
 	if w.s.ns.has(self) {
 		cnt++
@@ -278,4 +316,120 @@ func (w *walker) countAgainstNS(self int64, nbs []int64) int {
 		}
 	}
 	return cnt
+}
+
+// The pure arithmetic of Algorithm 2, Sample(Γ, α), shared verbatim by
+// the Program-path sampleRun and the native steppers so the two paths
+// cannot diverge on a threshold.
+
+// sampleSize returns the visit budget ⌈SampleMult·|Γ|·ln n / α⌉ (≥ 1).
+func (w *walkerCore) sampleSize(gammaLen int, alpha float64) int {
+	m := int(math.Ceil(w.p.SampleMult * float64(gammaLen) * w.lnN / alpha))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// sampleReset prepares the per-call visit counters. Counters live at
+// each vertex's position in npHomeL (counts only ever exist for
+// N+(home)), so the observation loop is one index lookup and an array
+// bump per observed neighbor. The counter array is walker scratch:
+// zeroed per call (O(∆), dwarfed by the visits the call pays for),
+// allocated once per worker.
+func (w *walkerCore) sampleReset() {
+	ws := w.s
+	if cap(ws.counts) < len(ws.npHomeL) {
+		ws.counts = make([]int32, len(ws.npHomeL))
+	}
+	ws.counts = ws.counts[:len(ws.npHomeL)]
+	clear(ws.counts)
+}
+
+// sampleObserveHome credits a draw that landed on home: visiting home
+// is free, and N+(home) ∩ N+(home) is everything.
+func (w *walkerCore) sampleObserveHome() {
+	for j := range w.s.counts {
+		w.s.counts[j]++
+	}
+}
+
+// sampleObserve credits one remote visit's observation (self plus its
+// neighbor list) against the N+(home) counters.
+func (w *walkerCore) sampleObserve(self int64, nbs []int64) {
+	ws := w.s
+	if j := ws.npIdx.get(self); j >= 0 {
+		ws.counts[j]++
+	}
+	for _, u := range nbs {
+		if j := ws.npIdx.get(u); j >= 0 {
+			ws.counts[j]++
+		}
+	}
+}
+
+// sampleHeavy scans the counters and returns the vertices whose count
+// reached ℓ = ⌈HeavyThresholdMult·ln n⌉. The returned list is scratch:
+// every caller consumes it before the next sample run (markHeavy
+// immediately, or a copy for the Lemma-2 report).
+func (w *walkerCore) sampleHeavy() []int64 {
+	ws := w.s
+	threshold := int32(math.Ceil(w.p.HeavyThresholdMult * w.lnN))
+	heavy := ws.heavy[:0]
+	for j, u := range ws.npHomeL {
+		if ws.counts[j] >= threshold {
+			heavy = append(heavy, u)
+		}
+	}
+	ws.heavy = heavy
+	return heavy
+}
+
+// The shared pure bookkeeping of Algorithm 3, Construct.
+
+// resetHeavyMarks prepares the H classification array. inH is indexed
+// by npHomeL position: heavy classification only ever applies to
+// members of N+(home).
+func (w *walkerCore) resetHeavyMarks() {
+	ws := w.s
+	if cap(ws.inH) < len(ws.npHomeL) {
+		ws.inH = make([]bool, len(ws.npHomeL))
+	}
+	ws.inH = ws.inH[:len(ws.npHomeL)]
+	clear(ws.inH)
+}
+
+// markHeavy records the given members of N+(home) as classified heavy.
+func (w *walkerCore) markHeavy(ids []int64) {
+	for _, u := range ids {
+		w.s.inH[w.s.npIdx.get(u)] = true
+	}
+}
+
+// markHeavyOne records a single exactly-verified heavy vertex.
+func (w *walkerCore) markHeavyOne(u int64) {
+	w.s.inH[w.s.npIdx.get(u)] = true
+}
+
+// candidates returns R, the members of N+(home) not yet classified
+// heavy, into the cand scratch list.
+func (w *walkerCore) candidates() []int64 {
+	ws := w.s
+	r := ws.cand[:0]
+	for j, u := range ws.npHomeL {
+		if !ws.inH[j] {
+			r = append(r, u)
+		}
+	}
+	ws.cand = r
+	return r
+}
+
+// probeBudget returns the step-2 probe count ⌈ProbeMult·ln n⌉ (≥ 1).
+func (w *walkerCore) probeBudget() int {
+	probes := int(math.Ceil(w.p.ProbeMult * w.lnN))
+	if probes < 1 {
+		probes = 1
+	}
+	return probes
 }

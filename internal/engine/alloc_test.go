@@ -19,11 +19,14 @@ func bytesPerTrial(t *testing.T, b Batch, trials int, tcFor func() *sim.TrialCon
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Warm: the first trial on a reusable context pays the scratch
-	// allocation that later trials are gated on avoiding. (For the
-	// fresh-context supplier this warm-up changes nothing.)
-	if out := runStepperTrial(b, spec, opts, tcFor(), 0); out.Err {
-		t.Fatal("warm-up trial errored")
+	// Warm: run every measured trial once first, so a reusable context
+	// has grown its scratch to each seed's high-water mark and the
+	// measured pass sees the steady state the gates are about. (For
+	// the fresh-context supplier this warm-up changes nothing.)
+	for i := 0; i <= trials; i++ {
+		if out := runStepperTrial(b, spec, opts, tcFor(), i); out.Err {
+			t.Fatalf("warm-up trial %d errored", i)
+		}
 	}
 	var m0, m1 runtime.MemStats
 	runtime.GC()
@@ -77,5 +80,39 @@ func TestWhiteboardTrialScratchAllocs(t *testing.T) {
 		// Sanity for the gate itself: fresh contexts must actually pay
 		// the Θ(n') cost, or the warm threshold proves nothing.
 		t.Errorf("fresh TrialContext allocates only %.0f B/trial — gate no longer measures the dense arrays", coldBytes)
+	}
+}
+
+// TestNativePaperStepperSetupAllocs is the per-trial setup gate for
+// the native paper steppers: with a warm TrialContext the whole trial
+// — builder, stepper state machines, lockstep runtime, walker and
+// agent-b scratch — must cost under 1 KB of allocations, i.e. the
+// iter.Pull coroutine and program-closure setup the
+// SteppersFromPrograms adapter used to pay per trial is gone and
+// nothing Θ(n) crept back in.
+func TestNativePaperStepperSetupAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	const n, d = 4096, 80
+	rng := rand.New(rand.NewPCG(21, 0xa110c))
+	g, err := graph.PlantedMinDegree(n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := graph.Vertex(rng.IntN(n))
+	sb := g.Adj(sa)[rng.IntN(g.Degree(sa))]
+	for _, name := range []string{"whiteboard", "noboard"} {
+		b := Batch{Graph: g, StartA: sa, StartB: sb, Algorithm: name,
+			Delta: g.MinDegree(), Trials: 1, Seed: 21, Workers: 1}
+		shared := sim.NewTrialContext()
+		bytesPer, allocsPer := bytesPerTrial(t, b, 6, func() *sim.TrialContext { return shared })
+		t.Logf("%s native path, warm context: %.0f B/trial, %.1f allocs/trial", name, bytesPer, allocsPer)
+		if bytesPer > 1024 {
+			t.Errorf("%s native stepper trial allocates %.0f B on a warm context, want < 1024", name, bytesPer)
+		}
+		if allocsPer > 24 {
+			t.Errorf("%s native stepper trial allocates %.1f times on a warm context, want ≤ 24", name, allocsPer)
+		}
 	}
 }

@@ -94,6 +94,55 @@ func specsUnderTest(t *testing.T) []string {
 	return names
 }
 
+// The tightened gate for the paper's two algorithms, now native
+// steppers: per-trial outcomes and aggregate JSON must be
+// byte-identical across worker counts 1/4/16 and across the
+// native-vs-ForceProgramPath axis — every combination against one
+// reference. CI runs this under -race, which exercises the native
+// machines and the worker-owned TrialContext reuse against the race
+// detector.
+func TestPaperSteppersIdenticalAcrossWorkersAndPaths(t *testing.T) {
+	g, sa, sb := testGraph(t)
+	for _, name := range []string{"whiteboard", "noboard"} {
+		base := Batch{
+			Graph: g, StartA: sa, StartB: sb,
+			Algorithm: name, Delta: g.MinDegree(),
+			Trials: 24, Seed: 424, MaxRounds: 1 << 22,
+		}
+		var refOut []Outcome
+		var refAgg []byte
+		for _, force := range []bool{false, true} {
+			for _, workers := range []int{1, 4, 16} {
+				b := base
+				b.Workers = workers
+				b.ForceProgramPath = force
+				out, err := RunOutcomes(b)
+				if err != nil {
+					t.Fatalf("%s force=%v workers=%d: %v", name, force, workers, err)
+				}
+				agg, err := json.Marshal(AggregateOutcomes(b, out))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if refOut == nil {
+					refOut, refAgg = out, agg
+					continue
+				}
+				for i := range out {
+					if out[i] != refOut[i] {
+						t.Errorf("%s force=%v workers=%d trial %d: %+v vs reference %+v",
+							name, force, workers, i, out[i], refOut[i])
+					}
+				}
+				if string(agg) != string(refAgg) {
+					t.Errorf("%s force=%v workers=%d: aggregate JSON differs:\n%s\nreference: %s",
+						name, force, workers, agg, refAgg)
+				}
+			}
+		}
+	}
+}
+
 // The stepper fast path must also be deterministic across worker
 // counts, exactly like the Program path.
 func TestStepperPathDeterministicAcrossWorkers(t *testing.T) {

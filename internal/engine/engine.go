@@ -292,9 +292,13 @@ func (b Batch) prepare() (algo.Spec, algo.BuildOpts, error) {
 	opts = algo.BuildOpts{Params: params, Delta: b.Delta}
 	// Pre-flight the builder the batch will actually use, so
 	// capability mismatches (for example "noboard" without Delta)
-	// fail before any worker starts.
+	// fail before any worker starts. The probe pair never runs, so
+	// honor the stepper lifecycle by finishing it explicitly.
 	if b.useSteppers(spec) {
-		_, _, err = spec.Steppers(opts)
+		var sa, sb sim.Stepper
+		sa, sb, err = spec.Steppers(opts)
+		sim.Finish(sa)
+		sim.Finish(sb)
 	} else {
 		_, _, err = spec.Programs(opts)
 	}
@@ -330,10 +334,17 @@ func runTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, trial int) Outcome {
 
 // runStepperTrial executes one trial on the stepper fast path,
 // reusing the worker-owned trial context's scratch (whiteboards,
-// neighbor-ID buffers, PCG state).
+// neighbor-ID buffers, PCG state). A mid-batch builder error must not
+// leak execution resources a partially built pair may own, nor leave
+// the worker's context in a state that influences later trials: any
+// returned steppers are finished, the context is untouched (its
+// scratch is re-armed by the next successful run), and the trial
+// counts as an error outcome.
 func runStepperTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, tc *sim.TrialContext, trial int) Outcome {
 	stA, stB, err := spec.Steppers(opts)
 	if err != nil {
+		sim.Finish(stA)
+		sim.Finish(stB)
 		return Outcome{Err: true}
 	}
 	res, err := tc.RunSteppers(trialConfig(b, spec, trial), stA, stB)

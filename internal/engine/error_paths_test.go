@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"fnr/internal/algo"
+	"fnr/internal/sim"
+
+	_ "fnr/internal/algo/paper"
+)
+
+// finishCountingStepper records whether its Finish hook ran.
+type finishCountingStepper struct{ finished *int }
+
+func (s finishCountingStepper) Init(*sim.StepContext)     {}
+func (s finishCountingStepper) Next(*sim.View) sim.Action { return sim.Halt() }
+func (s finishCountingStepper) Finish()                   { *s.finished++ }
+
+// vandalStepper dirties the worker context as hard as a stepper can —
+// whiteboard writes, junk parked on the scratch slot — then aborts
+// the run.
+type vandalStepper struct{ rounds int }
+
+func (s *vandalStepper) Init(ctx *sim.StepContext) {
+	// Poison the agent's scratch slot with a foreign type: the next
+	// real trial must cope (it type-asserts and rebuilds) without its
+	// results changing.
+	ctx.Scratch.Set("vandal junk")
+}
+
+func (s *vandalStepper) Next(v *sim.View) sim.Action {
+	if s.rounds <= 0 {
+		return sim.Abort(errors.New("vandal abort"))
+	}
+	s.rounds--
+	return sim.Stay().WithWrite(424242)
+}
+
+// TestBuilderErrorMidBatchLeavesWorkerContextClean is the satellite
+// gate for engine batch error paths: a stepper-builder error (or an
+// aborting, whiteboard-scribbling, scratch-poisoning trial) in the
+// middle of a worker's trial sequence must not leave the worker-owned
+// TrialContext in a state that influences later trials — the
+// error-then-retry sequence must reproduce the clean batch's outcomes
+// and aggregate JSON byte for byte.
+func TestBuilderErrorMidBatchLeavesWorkerContextClean(t *testing.T) {
+	g, sa, sb := testGraph(t)
+	for _, name := range []string{"whiteboard", "noboard"} {
+		base := Batch{
+			Graph: g, StartA: sa, StartB: sb,
+			Algorithm: name, Delta: g.MinDegree(),
+			Trials: 6, Seed: 5, MaxRounds: 1 << 22, Workers: 1,
+		}
+		spec, opts, err := base.prepare()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference: the six trials on one clean shared context.
+		clean := sim.NewTrialContext()
+		var cleanOut []Outcome
+		for i := 0; i < base.Trials; i++ {
+			cleanOut = append(cleanOut, runStepperTrial(base, spec, opts, clean, i))
+		}
+
+		// Disturbed: the same six trials on one shared context, with a
+		// builder failure and a vandal trial injected after trial 0.
+		finished := 0
+		brokenSpec := algo.Spec{
+			Name: "broken", Caps: spec.Caps, Build: spec.Build,
+			BuildSteppers: func(algo.BuildOpts) (sim.Stepper, sim.Stepper, error) {
+				return finishCountingStepper{&finished}, nil, errors.New("mid-batch builder failure")
+			},
+		}
+		vandalSpec := algo.Spec{
+			Name: "vandal", Caps: algo.Caps{NeighborIDs: true, Whiteboards: true}, Build: spec.Build,
+			BuildSteppers: func(algo.BuildOpts) (sim.Stepper, sim.Stepper, error) {
+				return &vandalStepper{rounds: 4}, &vandalStepper{rounds: 6}, nil
+			},
+		}
+		dirty := sim.NewTrialContext()
+		var dirtyOut []Outcome
+		dirtyOut = append(dirtyOut, runStepperTrial(base, spec, opts, dirty, 0))
+		if out := runStepperTrial(base, brokenSpec, opts, dirty, 99); !out.Err {
+			t.Fatalf("%s: builder failure did not produce an error outcome: %+v", name, out)
+		}
+		if finished != 1 {
+			t.Errorf("%s: partially built stepper's Finish ran %d times, want 1", name, finished)
+		}
+		if out := runStepperTrial(base, vandalSpec, opts, dirty, 99); !out.Err {
+			t.Fatalf("%s: vandal trial did not produce an error outcome: %+v", name, out)
+		}
+		for i := 1; i < base.Trials; i++ {
+			dirtyOut = append(dirtyOut, runStepperTrial(base, spec, opts, dirty, i))
+		}
+
+		for i := range cleanOut {
+			if cleanOut[i] != dirtyOut[i] {
+				t.Errorf("%s trial %d: outcome diverged after mid-batch errors: clean %+v vs dirty %+v",
+					name, i, cleanOut[i], dirtyOut[i])
+			}
+		}
+		cleanAgg, err := json.Marshal(AggregateOutcomes(base, cleanOut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirtyAgg, err := json.Marshal(AggregateOutcomes(base, dirtyOut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(cleanAgg) != string(dirtyAgg) {
+			t.Errorf("%s: aggregate JSON diverged after an error-then-retry batch:\nclean: %s\ndirty: %s",
+				name, cleanAgg, dirtyAgg)
+		}
+	}
+}

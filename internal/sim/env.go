@@ -276,8 +276,9 @@ func (ps *chanProgramStepper) Next(v *View) Action {
 	}
 }
 
-// stop tears the agent goroutine down (idempotent, safe before Init).
-func (ps *chanProgramStepper) stop() {
+// Finish tears the agent goroutine down (idempotent, safe before
+// Init) — the Finisher hook the runtime calls on every exit path.
+func (ps *chanProgramStepper) Finish() {
 	select {
 	case <-ps.done:
 	default:

@@ -49,7 +49,7 @@ func (ps *pullProgramStepper) Init(ctx *StepContext) {
 	seq := func(yield func(Action) bool) {
 		ps.yieldFn = yield
 		defer func() {
-			// A stop()-driven unwind (stopSignal) also lands here;
+			// A Finish()-driven unwind (stopSignal) also lands here;
 			// its final action is never consumed.
 			ps.final, _ = exitAction(recover())
 		}()
@@ -73,9 +73,10 @@ func (ps *pullProgramStepper) Next(v *View) Action {
 // next acting round; it reports false when the run is shutting down.
 func (ps *pullProgramStepper) yield(act Action) bool { return ps.yieldFn(act) }
 
-// stop unwinds the coroutine if the program is still live (idempotent,
-// safe before Init).
-func (ps *pullProgramStepper) stop() {
+// Finish unwinds the coroutine if the program is still live
+// (idempotent, safe before Init) — the Finisher hook the runtime
+// calls on every exit path.
+func (ps *pullProgramStepper) Finish() {
 	if ps.stopFn != nil {
 		ps.stopFn()
 	}

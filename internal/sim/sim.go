@@ -157,6 +157,13 @@ func Run(cfg Config, progA, progB Program) (*Result, error) {
 // runSteppers is the single lockstep entry point behind Run and
 // RunSteppers: validate, wire the agents to tc's scratch, loop.
 func runSteppers(cfg Config, tc *TrialContext, stA, stB Stepper) (*Result, error) {
+	// Lifecycle guarantee first, before any validation return: every
+	// stepper handed to a run gets its Finish hook on every exit path,
+	// so adapter goroutines/coroutines never outlive the run (or touch
+	// tc's buffers after they are handed to the next trial). See
+	// Finisher.
+	defer Finish(stA)
+	defer Finish(stB)
 	if cfg.Graph == nil {
 		return nil, errors.New("sim: nil graph")
 	}
@@ -167,15 +174,6 @@ func runSteppers(cfg Config, tc *TrialContext, stA, stB Stepper) (*Result, error
 	if stA == nil || stB == nil {
 		return nil, errors.New("sim: nil agent (program or stepper)")
 	}
-	// Program adapters own a goroutine or coroutine; guarantee
-	// teardown on every exit so nothing outlives the run (or touches
-	// tc's buffers after they are handed to the next trial).
-	if s, ok := stA.(stopper); ok {
-		defer s.stop()
-	}
-	if s, ok := stB.(stopper); ok {
-		defer s.stop()
-	}
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds(cfg.Graph)
@@ -185,7 +183,10 @@ func runSteppers(cfg Config, tc *TrialContext, stA, stB Stepper) (*Result, error
 		seed = 1
 	}
 
-	rt := &runtime{
+	// The runtime lives on the trial context: one wholesale reset per
+	// run instead of one allocation per trial.
+	rt := &tc.rt
+	*rt = runtime{
 		g:           cfg.Graph,
 		kt1:         cfg.NeighborIDs,
 		whiteboards: cfg.Whiteboards,
@@ -205,7 +206,8 @@ func runSteppers(cfg Config, tc *TrialContext, stA, stB Stepper) (*Result, error
 		ag.st = st
 		ag.pos = starts[i]
 		ag.moveTo = graph.NilVertex
-		ctx := StepContext{
+		ctx := &tc.stepCtx[i]
+		*ctx = StepContext{
 			Name:        ag.name,
 			NPrime:      cfg.Graph.NPrime(),
 			NeighborIDs: cfg.NeighborIDs,
@@ -213,7 +215,7 @@ func runSteppers(cfg Config, tc *TrialContext, stA, stB Stepper) (*Result, error
 			Rand:        tc.randFor(i, seed, streams[i]),
 			Scratch:     &tc.scratch[i],
 		}
-		st.Init(&ctx)
+		st.Init(ctx)
 	}
 	return rt.run()
 }

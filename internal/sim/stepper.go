@@ -24,7 +24,10 @@ import (
 // Run drives Programs through the classic goroutine-backed adapter.
 type Stepper interface {
 	// Init receives the run-constant context before round 0. The
-	// context (including ctx.Rand) is only valid for this run.
+	// context's fields (including ctx.Rand) are only valid for this
+	// run, and the *StepContext itself only during the Init call (the
+	// runtime reuses the box across trials): copy the fields out,
+	// never retain the pointer.
 	Init(ctx *StepContext)
 	// Next returns the agent's action for the current acting round.
 	// The View and its NeighborIDs buffer are shared with the runtime
@@ -183,11 +186,27 @@ func (a Action) WithWrite(val int64) Action {
 	return a
 }
 
-// stopper is implemented by the Program adapters, whose execution
-// resources (goroutine or coroutine) need teardown when a run ends
-// before the program returns. The runtime stops every stepper that
-// implements it.
-type stopper interface{ stop() }
+// Finisher is the optional stepper-lifecycle extension: a Stepper
+// that owns execution resources (a goroutine, a coroutine, an open
+// handle) implements Finish to release them. The runtime guarantees
+// Finish is called exactly once per RunSteppers/Run invocation, on
+// every exit path — normal completion, MaxRounds exhaustion, the peer
+// halting, an abort, and even configuration-validation failure before
+// round 0. Finish must be idempotent and safe to call before Init.
+// The Program adapters implement it to tear down their goroutine and
+// iter.Pull coroutine; native steppers normally have nothing to
+// release and simply don't implement it.
+type Finisher interface{ Finish() }
+
+// Finish releases s's execution resources if it implements Finisher —
+// the hook callers (the batch engine, benchmarks) use to honor the
+// stepper lifecycle for steppers that never reach a run, e.g. after a
+// mid-batch builder error. Safe on nil.
+func Finish(s Stepper) {
+	if f, ok := s.(Finisher); ok {
+		f.Finish()
+	}
+}
 
 // TrialContext owns the per-trial scratch of the stepper fast path —
 // the whiteboard array, both agents' PCG state, and one opaque
@@ -200,6 +219,13 @@ type TrialContext struct {
 	pcg     [2]*rand.PCG
 	rand    [2]*rand.Rand
 	scratch [2]AgentScratch // per-agent algorithm scratch (see AgentScratch)
+	// rt is the reusable lockstep engine and stepCtx the per-agent
+	// Init contexts: runSteppers resets both wholesale at the start of
+	// every run, so the per-trial runtime state costs no allocation on
+	// a warm context (StepContext escapes through the Stepper
+	// interface and would otherwise be a per-trial heap box).
+	rt      runtime
+	stepCtx [2]StepContext
 }
 
 // NewTrialContext returns an empty reusable trial context.
