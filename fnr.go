@@ -437,6 +437,17 @@ type (
 	Aggregate = engine.Aggregate
 )
 
+// DefaultLaneWidth is the widest lockstep lane Batch.LaneWidth = 0
+// selects: how many trials each worker keeps resident at once on the
+// stepper fast path. On large graphs the automatic width narrows so
+// the resident trials' combined working set stays cache-friendly —
+// AutoLaneWidth reports the resolved value.
+const DefaultLaneWidth = engine.DefaultLaneWidth
+
+// AutoLaneWidth reports the lockstep lane width a Batch with
+// LaneWidth 0 resolves to on a graph with n vertices.
+func AutoLaneWidth(n int) int { return engine.AutoLaneWidth(n) }
+
 // RunBatch fans the batch's trials across a worker pool and returns
 // the streamed aggregate. Each trial's seed derives from
 // (Batch.Seed, trial index), so the result is bit-identical for any
@@ -446,6 +457,15 @@ func RunBatch(b Batch) (*Aggregate, error) { return engine.Run(b) }
 // RunBatchOutcomes is RunBatch returning the per-trial outcomes in
 // trial order instead of the aggregate.
 func RunBatchOutcomes(b Batch) ([]BatchOutcome, error) { return engine.RunOutcomes(b) }
+
+// RunBatchStreaming is RunBatch with bounded-memory aggregation:
+// outcomes stream into per-worker reducers as trials finish, so
+// engine-owned memory scales with the number of distinct observed
+// values, not the trial count — the entry point for 10M-trial
+// batches. Results are deterministic at any Workers/LaneWidth
+// setting; the means may differ from RunBatch by a few ULPs (exact
+// multiset mean vs trial-ordered Welford — see engine.RunStreaming).
+func RunBatchStreaming(b Batch) (*Aggregate, error) { return engine.RunStreaming(b) }
 
 // RunPrograms executes two custom agent programs under an explicit
 // simulation configuration — the low-level entry point for user-written

@@ -30,6 +30,8 @@ type stayerStepper struct{}
 
 func (stayerStepper) Init(*sim.StepContext) {}
 
+func (stayerStepper) Reset(*sim.StepContext) {}
+
 func (stayerStepper) Next(*sim.View) sim.Action { return sim.StayFor(1 << 30) }
 
 // SweepStepper returns the stepper form of StayAndSweep's agent b: it
@@ -47,6 +49,10 @@ type sweepStepper struct {
 
 func (s *sweepStepper) Init(*sim.StepContext) {}
 
+// Reset re-arms the sweep for another trial, keeping the grown
+// neighbor buffer (lane reuse contract).
+func (s *sweepStepper) Reset(*sim.StepContext) { *s = sweepStepper{nbs: s.nbs[:0]} }
+
 func (s *sweepStepper) Next(v *sim.View) sim.Action {
 	if !s.started {
 		s.started = true
@@ -58,12 +64,10 @@ func (s *sweepStepper) Next(v *sim.View) sim.Action {
 		return sim.Halt()
 	}
 	if !s.returning {
-		p, ok := v.PortOfID(s.nbs[s.i])
-		if !ok {
-			return sim.Abort(errNotAdjacent(v, s.nbs[s.i]))
-		}
+		// nbs is home's neighbor list in port order, so sweep target i
+		// sits behind port i.
 		s.returning = true
-		return sim.Move(p)
+		return sim.Move(s.i)
 	}
 	p, ok := v.PortOfID(s.home)
 	if !ok {
@@ -84,6 +88,8 @@ type randomWalkerStepper struct {
 
 func (s *randomWalkerStepper) Init(ctx *sim.StepContext) { s.rng = ctx.Rand }
 
+func (s *randomWalkerStepper) Reset(ctx *sim.StepContext) { s.rng = ctx.Rand }
+
 func (s *randomWalkerStepper) Next(v *sim.View) sim.Action {
 	if v.Degree == 0 {
 		return sim.Stay()
@@ -97,15 +103,28 @@ func (s *randomWalkerStepper) Next(v *sim.View) sim.Action {
 func DFSStepper() sim.Stepper { return &dfsStepper{} }
 
 type dfsStepper struct {
+	started bool
 	visited map[int64]bool
 	path    []int64 // vertex IDs from the root to the parent of the current vertex
 }
 
 func (s *dfsStepper) Init(*sim.StepContext) {}
 
+// Reset re-arms the traversal for another trial, keeping the visited
+// map's buckets and the path's capacity (lane reuse contract).
+func (s *dfsStepper) Reset(*sim.StepContext) {
+	s.started = false
+	clear(s.visited)
+	s.path = s.path[:0]
+}
+
 func (s *dfsStepper) Next(v *sim.View) sim.Action {
-	if s.visited == nil {
-		s.visited = map[int64]bool{v.HereID: true}
+	if !s.started {
+		s.started = true
+		if s.visited == nil {
+			s.visited = make(map[int64]bool)
+		}
+		s.visited[v.HereID] = true
 	}
 	next := int64(-1)
 	for _, u := range v.NeighborIDs {
@@ -143,12 +162,13 @@ func (s *dfsStepper) Next(v *sim.View) sim.Action {
 func BirthdayStepperA() sim.Stepper { return &birthdayStepperA{} }
 
 type birthdayStepperA struct {
-	rng    *rand.Rand
-	boards bool
-	home   int64
-	np     []int64
-	state  birthdayAState
-	mark   int64 // whiteboard value read at the probed vertex
+	rng     *rand.Rand
+	boards  bool
+	started bool
+	home    int64
+	np      []int64
+	state   birthdayAState
+	mark    int64 // whiteboard value read at the probed vertex
 }
 
 type birthdayAState uint8
@@ -165,14 +185,21 @@ func (s *birthdayStepperA) Init(ctx *sim.StepContext) {
 	s.boards = ctx.Whiteboards
 }
 
+// Reset re-arms the machine for another trial, keeping the grown
+// closed-neighborhood buffer (lane reuse contract).
+func (s *birthdayStepperA) Reset(ctx *sim.StepContext) {
+	*s = birthdayStepperA{np: s.np[:0]}
+	s.Init(ctx)
+}
+
 func (s *birthdayStepperA) Next(v *sim.View) sim.Action {
-	if s.np == nil {
+	if !s.started {
 		if !s.boards {
 			return sim.Abort(errors.New("birthday strategy in a whiteboard-free run"))
 		}
+		s.started = true
 		s.home = v.HereID
-		s.np = make([]int64, 0, v.Degree+1)
-		s.np = append(s.np, s.home)
+		s.np = append(s.np[:0], s.home)
 		s.np = append(s.np, v.NeighborIDs...)
 	}
 	switch s.state {
@@ -200,16 +227,14 @@ func (s *birthdayStepperA) Next(v *sim.View) sim.Action {
 	}
 	// birthdayAChoose: draw closed neighbors until one costs a round,
 	// mirroring the Program form's zero-round retry loop (home draws
-	// that read an unchaseable mark consume no rounds).
+	// that read an unchaseable mark consume no rounds). np is home
+	// followed by the neighbors in port order, so a drawn index j ≥ 1
+	// is the neighbor behind port j-1 — no ID lookup.
 	for {
-		pick := s.np[s.rng.IntN(len(s.np))]
-		if pick != s.home {
-			p, ok := v.PortOfID(pick)
-			if !ok {
-				return sim.Abort(errNotAdjacent(v, pick))
-			}
+		j := s.rng.IntN(len(s.np))
+		if pick := s.np[j]; pick != s.home {
 			s.state = birthdayAProbe
-			return sim.Move(p)
+			return sim.Move(j - 1)
 		}
 		mark := v.Whiteboard
 		if mark == sim.NoMark || mark == s.home {
@@ -227,11 +252,12 @@ func (s *birthdayStepperA) Next(v *sim.View) sim.Action {
 func BirthdayStepperB() sim.Stepper { return &birthdayStepperB{} }
 
 type birthdayStepperB struct {
-	rng    *rand.Rand
-	boards bool
-	home   int64
-	np     []int64
-	away   bool // at the marked neighbor, heading home next
+	rng     *rand.Rand
+	boards  bool
+	started bool
+	home    int64
+	np      []int64
+	away    bool // at the marked neighbor, heading home next
 }
 
 func (s *birthdayStepperB) Init(ctx *sim.StepContext) {
@@ -239,14 +265,21 @@ func (s *birthdayStepperB) Init(ctx *sim.StepContext) {
 	s.boards = ctx.Whiteboards
 }
 
+// Reset re-arms the machine for another trial, keeping the grown
+// closed-neighborhood buffer (lane reuse contract).
+func (s *birthdayStepperB) Reset(ctx *sim.StepContext) {
+	*s = birthdayStepperB{np: s.np[:0]}
+	s.Init(ctx)
+}
+
 func (s *birthdayStepperB) Next(v *sim.View) sim.Action {
-	if s.np == nil {
+	if !s.started {
 		if !s.boards {
 			return sim.Abort(errors.New("birthday strategy in a whiteboard-free run"))
 		}
+		s.started = true
 		s.home = v.HereID
-		s.np = make([]int64, 0, v.Degree+1)
-		s.np = append(s.np, s.home)
+		s.np = append(s.np[:0], s.home)
 		s.np = append(s.np, v.NeighborIDs...)
 	}
 	if s.away {
@@ -259,14 +292,12 @@ func (s *birthdayStepperB) Next(v *sim.View) sim.Action {
 		s.away = false
 		return sim.Move(p).WithWrite(s.home)
 	}
-	pick := s.np[s.rng.IntN(len(s.np))]
-	if pick == s.home {
+	// np is home followed by the neighbors in port order: index j ≥ 1
+	// is the neighbor behind port j-1.
+	j := s.rng.IntN(len(s.np))
+	if s.np[j] == s.home {
 		return sim.Stay().WithWrite(s.home)
 	}
-	p, ok := v.PortOfID(pick)
-	if !ok {
-		return sim.Abort(errNotAdjacent(v, pick))
-	}
 	s.away = true
-	return sim.Move(p)
+	return sim.Move(j - 1)
 }

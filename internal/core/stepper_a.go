@@ -122,9 +122,10 @@ type nativeAgentA struct {
 	nb    *nbAState // non-nil selects Algorithm 4 after Construct
 
 	// Run-constant context (Init).
-	rng    *rand.Rand
-	nPrime int64
-	slot   *sim.AgentScratch
+	rng        *rand.Rand
+	nPrime     int64
+	slot       *sim.AgentScratch
+	graphStamp uint64
 
 	// runConstruct's δ' bookkeeping (the walkerCore holds the copy the
 	// current Construct attempt runs under).
@@ -160,12 +161,34 @@ func (s *nativeAgentA) Init(ctx *sim.StepContext) {
 	s.rng = ctx.Rand
 	s.nPrime = ctx.NPrime
 	s.slot = ctx.Scratch
+	s.graphStamp = ctx.GraphStamp
+}
+
+// Reset re-arms the machine for another trial (the lane reuse
+// contract): zero every per-trial field, keep only the trial-constant
+// configuration, and Init with the new context. The parked
+// walkerScratch survives on the context's scratch slot — exactly the
+// reuse a freshly built stepper gets.
+func (s *nativeAgentA) Reset(ctx *sim.StepContext) {
+	if s.nb != nil {
+		*s.nb = nbAState{}
+	}
+	*s = nativeAgentA{p: s.p, know: s.know, delta: s.delta, wst: s.wst, nst: s.nst, nb: s.nb}
+	s.Init(ctx)
 }
 
 // moveTo emits the move crossing to the adjacent vertex id — the
 // stepper counterpart of Env.MoveToID, aborting (like the Program
-// form's panic) when id is not visible as a neighbor.
+// form's panic) when id is not visible as a neighbor. Moves departing
+// home — the overwhelming majority — read the port straight off the
+// walker's N+(home) position index (npHomeL is home followed by the
+// neighbors in port order), skipping the graph's per-vertex lookup.
 func (s *nativeAgentA) moveTo(v *sim.View, id int64) sim.Action {
+	if s.w.s != nil && v.HereID == s.w.home {
+		if j := s.w.s.npIdx.get(id); j > 0 {
+			return sim.Move(int(j) - 1)
+		}
+	}
 	p, ok := v.PortOfID(id)
 	if !ok {
 		return sim.Abort(fmt.Errorf("core: agent a at vertex %d has no visible neighbor with ID %d", v.HereID, id))
@@ -200,9 +223,9 @@ func (s *nativeAgentA) beginReturn(v *sim.View, after aPC) (sim.Action, bool) {
 		s.pc = after
 		return sim.Action{}, false
 	}
-	if s.w.s.npIdx.get(cur) >= 0 { // adjacent to home
+	if j := s.w.s.npIdx.get(cur); j >= 0 { // adjacent to home
 		s.pc = after
-		return s.moveTo(v, s.w.home), true
+		return s.homeward(v, int(j)), true
 	}
 	via, ok := s.w.viaOf(cur)
 	if !ok {
@@ -211,6 +234,16 @@ func (s *nativeAgentA) beginReturn(v *sim.View, after aPC) (sim.Action, bool) {
 	s.retAfter = after
 	s.pc = pcReturnVia
 	return s.moveTo(v, via), true
+}
+
+// homeward moves home from the j-th member of N+(home) through the
+// walker's cached return port, falling back to the generic lookup if
+// home is somehow not visible (moveTo then aborts, as before).
+func (s *nativeAgentA) homeward(v *sim.View, j int) sim.Action {
+	if p, ok := s.w.homePort(v, j); ok {
+		return sim.Move(p)
+	}
+	return s.moveTo(v, s.w.home)
 }
 
 // arriveRestart handles a doubling violation observed on arrival: go
@@ -270,7 +303,7 @@ func (s *nativeAgentA) nextFrom(v *sim.View) sim.Action {
 		case pcConstructBegin:
 			// constructDense prologue: fresh walker core over the
 			// (reused) scratch, home degree check, NS ← N+(home).
-			s.w = newWalkerCore(walkerScratchFor(s.slot), s.nPrime, s.p, s.deltaEst, s.know.Doubling, v.HereID, v.NeighborIDs)
+			s.w = newWalkerCore(walkerScratchFor(s.slot), s.graphStamp, s.nPrime, s.p, s.deltaEst, s.know.Doubling, v.HereID, v.NeighborIDs)
 			if s.w.degreeViolates(v.Degree) {
 				s.pc = pcRestart // home itself violates the estimate
 				continue
@@ -470,6 +503,9 @@ func (s *nativeAgentA) nextFrom(v *sim.View) sim.Action {
 
 		case pcReturnVia: // homebound at the via vertex
 			s.pc = s.retAfter
+			if j := s.w.s.npIdx.get(v.HereID); j >= 0 {
+				return s.homeward(v, int(j))
+			}
 			return s.moveTo(v, s.w.home)
 
 		case pcMainLoop: // Theorem-1 main phase, at home

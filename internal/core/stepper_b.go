@@ -60,6 +60,15 @@ func (s *whiteboardBStepper) Init(ctx *sim.StepContext) {
 	s.slot = ctx.Scratch
 }
 
+// Reset re-arms the machine for another trial (the lane reuse
+// contract). np == nil re-triggers the first-round neighborhood
+// snapshot, which reuses the bScratch parked on the context's slot —
+// the same state a freshly built stepper starts from.
+func (s *whiteboardBStepper) Reset(ctx *sim.StepContext) {
+	*s = whiteboardBStepper{}
+	s.Init(ctx)
+}
+
 func (s *whiteboardBStepper) Next(v *sim.View) sim.Action {
 	if s.np == nil {
 		s.home = v.HereID
@@ -82,19 +91,17 @@ func (s *whiteboardBStepper) Next(v *sim.View) sim.Action {
 		s.away = false
 		return sim.Move(p).WithWrite(s.home)
 	}
-	u := s.np[s.rng.IntN(len(s.np))]
-	if u == s.home {
+	// np is home followed by the neighbors in port order, so a drawn
+	// index j ≥ 1 is the neighbor behind port j-1 — no ID lookup.
+	j := s.rng.IntN(len(s.np))
+	if s.np[j] == s.home {
 		if !s.boards {
 			return sim.Abort(fmt.Errorf("core: agent b wrote a whiteboard in a whiteboard-free run"))
 		}
 		return sim.Stay().WithWrite(s.home) // commit the write, staying put
 	}
-	p, ok := v.PortOfID(u)
-	if !ok {
-		return sim.Abort(errNotAdjacentB(v, u))
-	}
 	s.away = true
-	return sim.Move(p)
+	return sim.Move(j - 1)
 }
 
 // nbBPC is the resume point of the native Algorithm-4 agent-b machine.
@@ -141,6 +148,15 @@ func (s *noboardBStepper) Init(ctx *sim.StepContext) {
 	s.rng = ctx.Rand
 	s.nPrime = ctx.NPrime
 	s.slot = ctx.Scratch
+}
+
+// Reset re-arms the machine for another trial (the lane reuse
+// contract): keep the trial-constant configuration, zero the rest,
+// Init anew. pcBStart redoes the schedule/Φ^b setup on the parked
+// bScratch.
+func (s *noboardBStepper) Reset(ctx *sim.StepContext) {
+	*s = noboardBStepper{p: s.p, delta: s.delta, nst: s.nst}
+	s.Init(ctx)
 }
 
 func (s *noboardBStepper) moveTo(v *sim.View, id int64) sim.Action {

@@ -35,6 +35,17 @@ type walkerScratch struct {
 	npHomeL    []int64
 	nsL        []int64
 	lastSeenNb []int64
+	// retPort caches, per npHomeL position, the port from that vertex
+	// back to home (-1 until first computed). Every Sample draw and
+	// every distance-2 trip ends standing on a neighbor of home, so
+	// the cache turns the return move's per-vertex port lookup (a
+	// binary search over a Θ(∆) neighbor list) into one array read.
+	// Ports are pure graph structure, so the cache survives re-arms —
+	// including whole trials — as long as (graph stamp, home) match;
+	// retStamp/retHome key that (stamp 0 never matches).
+	retPort  []int32
+	retStamp uint64
+	retHome  int64
 	// Construct/Sample scratch (see constructDense and sampleRun).
 	counts []int32
 	inH    []bool
@@ -90,6 +101,11 @@ type walkerCore struct {
 	lnN      float64
 	deltaEst float64 // current δ' (exact δ or the doubling estimate)
 	doubling bool
+	// denseCounts selects the ID-indexed Sample counters (see
+	// sampleReset): like the idspace structures, small ID spaces get
+	// dense arrays, large ones the position-indexed fallback.
+	nPrime      int64
+	denseCounts bool
 
 	home   int64
 	visits int64 // number of vertex visits (diagnostics)
@@ -114,16 +130,18 @@ type walker struct {
 // Only one core per agent is ever live at a time (doubling restarts
 // discard the old one before constructing anew), so re-arming here is
 // safe.
-func newWalkerCore(s *walkerScratch, nPrime int64, p *Params, deltaEst float64, doubling bool, home int64, homeNbs []int64) walkerCore {
+func newWalkerCore(s *walkerScratch, graphStamp uint64, nPrime int64, p *Params, deltaEst float64, doubling bool, home int64, homeNbs []int64) walkerCore {
 	s.homeNb = append(s.homeNb[:0], homeNbs...)
 	w := walkerCore{
-		p:          p,
-		s:          s,
-		lnN:        lnOf(nPrime),
-		deltaEst:   deltaEst,
-		doubling:   doubling,
-		home:       home,
-		lastSeenID: -1,
+		p:           p,
+		s:           s,
+		lnN:         lnOf(nPrime),
+		deltaEst:    deltaEst,
+		doubling:    doubling,
+		nPrime:      nPrime,
+		denseCounts: nPrime > 0 && nPrime <= denseIDLimit,
+		home:        home,
+		lastSeenID:  -1,
 	}
 	s.via.init(nPrime, 2*len(s.homeNb))
 	s.ns.init(nPrime, 2*len(s.homeNb))
@@ -132,6 +150,16 @@ func newWalkerCore(s *walkerScratch, nPrime int64, p *Params, deltaEst float64, 
 	s.npHomeL = append(s.npHomeL, s.homeNb...)
 	for i, id := range s.npHomeL {
 		s.npIdx.set(id, int32(i))
+	}
+	if graphStamp == 0 || s.retStamp != graphStamp || s.retHome != home || len(s.retPort) != len(s.npHomeL) {
+		if cap(s.retPort) < len(s.npHomeL) {
+			s.retPort = make([]int32, len(s.npHomeL))
+		}
+		s.retPort = s.retPort[:len(s.npHomeL)]
+		for i := range s.retPort {
+			s.retPort[i] = -1
+		}
+		s.retStamp, s.retHome = graphStamp, home
 	}
 	s.nsL = s.nsL[:0]
 	s.lastSeenNb = s.lastSeenNb[:0]
@@ -146,7 +174,7 @@ func newWalkerCore(s *walkerScratch, nPrime int64, p *Params, deltaEst float64, 
 // agent at its start vertex.
 func newWalker(e *sim.Env, p *Params, deltaEst float64, doubling bool) *walker {
 	return &walker{
-		walkerCore: newWalkerCore(walkerScratchFor(e.Scratch()), e.NPrime(), p, deltaEst, doubling, e.HereID(), e.NeighborIDs()),
+		walkerCore: newWalkerCore(walkerScratchFor(e.Scratch()), 0, e.NPrime(), p, deltaEst, doubling, e.HereID(), e.NeighborIDs()),
 		e:          e,
 	}
 }
@@ -176,6 +204,23 @@ func (w *walker) checkDegree() error {
 // target (possibly target itself when adjacent to home).
 func (w *walkerCore) viaOf(target int64) (int64, bool) {
 	return w.s.via.get(target)
+}
+
+// homePort returns the port leading home from the j-th member of
+// N+(home) — the vertex the view stands on — computing it once per
+// (vertex, home) pair and serving repeats from the retPort cache. The
+// cached value is exactly what PortOfID returned the first time, so
+// trajectories are unchanged.
+func (w *walkerCore) homePort(v *sim.View, j int) (int, bool) {
+	if p := w.s.retPort[j]; p >= 0 {
+		return int(p), true
+	}
+	p, ok := v.PortOfID(w.home)
+	if !ok {
+		return 0, false
+	}
+	w.s.retPort[j] = int32(p)
+	return p, true
 }
 
 // goTo moves from home to the known vertex target (≤ 2 moves) and
@@ -331,14 +376,28 @@ func (w *walkerCore) sampleSize(gammaLen int, alpha float64) int {
 	return m
 }
 
-// sampleReset prepares the per-call visit counters. Counters live at
-// each vertex's position in npHomeL (counts only ever exist for
-// N+(home)), so the observation loop is one index lookup and an array
-// bump per observed neighbor. The counter array is walker scratch:
-// zeroed per call (O(∆), dwarfed by the visits the call pays for),
-// allocated once per worker.
+// sampleReset prepares the per-call visit counters. In dense mode
+// (small ID space, like idspace.go) counters are indexed directly by
+// vertex ID, which turns the observation loop into plain array bumps
+// — no npIdx lookup, no epoch check — and only the N+(home) entries
+// are ever read, so the reset clears exactly those (O(∆)). Slots at
+// other IDs may hold garbage from earlier calls; sampleHeavy never
+// looks at them, and int32 wraparound on a never-read slot is
+// harmless. In map mode counters live at each vertex's position in
+// npHomeL, as before. Either way the counter array is walker scratch:
+// allocated once per worker, both representations count identically.
 func (w *walkerCore) sampleReset() {
 	ws := w.s
+	if w.denseCounts {
+		if int64(cap(ws.counts)) < w.nPrime {
+			ws.counts = make([]int32, w.nPrime)
+		}
+		ws.counts = ws.counts[:w.nPrime]
+		for _, id := range ws.npHomeL {
+			ws.counts[id] = 0
+		}
+		return
+	}
 	if cap(ws.counts) < len(ws.npHomeL) {
 		ws.counts = make([]int32, len(ws.npHomeL))
 	}
@@ -349,15 +408,32 @@ func (w *walkerCore) sampleReset() {
 // sampleObserveHome credits a draw that landed on home: visiting home
 // is free, and N+(home) ∩ N+(home) is everything.
 func (w *walkerCore) sampleObserveHome() {
-	for j := range w.s.counts {
-		w.s.counts[j]++
+	ws := w.s
+	if w.denseCounts {
+		for _, id := range ws.npHomeL {
+			ws.counts[id]++
+		}
+		return
+	}
+	for j := range ws.counts {
+		ws.counts[j]++
 	}
 }
 
 // sampleObserve credits one remote visit's observation (self plus its
-// neighbor list) against the N+(home) counters.
+// neighbor list) against the N+(home) counters. The dense branch
+// bumps unconditionally — IDs outside N+(home) land on slots nothing
+// reads — which is what removes the per-neighbor membership lookup
+// from the hottest loop of the whole simulation.
 func (w *walkerCore) sampleObserve(self int64, nbs []int64) {
 	ws := w.s
+	if w.denseCounts {
+		ws.counts[self]++
+		for _, u := range nbs {
+			ws.counts[u]++
+		}
+		return
+	}
 	if j := ws.npIdx.get(self); j >= 0 {
 		ws.counts[j]++
 	}
@@ -376,6 +452,15 @@ func (w *walkerCore) sampleHeavy() []int64 {
 	ws := w.s
 	threshold := int32(math.Ceil(w.p.HeavyThresholdMult * w.lnN))
 	heavy := ws.heavy[:0]
+	if w.denseCounts {
+		for _, u := range ws.npHomeL {
+			if ws.counts[u] >= threshold {
+				heavy = append(heavy, u)
+			}
+		}
+		ws.heavy = heavy
+		return heavy
+	}
 	for j, u := range ws.npHomeL {
 		if ws.counts[j] >= threshold {
 			heavy = append(heavy, u)

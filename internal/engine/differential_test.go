@@ -172,3 +172,56 @@ func TestStepperPathDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// The lockstep-lane gate (satellite of the lockstep PR): for both
+// paper algorithms, per-trial outcomes and aggregate JSON must be
+// byte-identical across workers 1/4/16 × lane widths 1/8/64, with
+// the legacy one-at-a-time stepper path (LaneWidth -1, 1 worker) as
+// the reference. CI runs this under -race, exercising the lane's
+// slot state and the chunked claim queue against the race detector.
+func TestLaneWidthAndWorkersDeterministic(t *testing.T) {
+	g, sa, sb := testGraph(t)
+	for _, name := range []string{"whiteboard", "noboard"} {
+		base := Batch{
+			Graph: g, StartA: sa, StartB: sb,
+			Algorithm: name, Delta: g.MinDegree(),
+			Trials: 24, Seed: 424, MaxRounds: 1 << 22,
+		}
+		ref := base
+		ref.Workers = 1
+		ref.LaneWidth = -1 // legacy per-trial stepper path
+		refOut, err := RunOutcomes(ref)
+		if err != nil {
+			t.Fatalf("%s reference: %v", name, err)
+		}
+		refAgg, err := json.Marshal(AggregateOutcomes(ref, refOut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 16} {
+			for _, width := range []int{1, 8, 64} {
+				b := base
+				b.Workers = workers
+				b.LaneWidth = width
+				out, err := RunOutcomes(b)
+				if err != nil {
+					t.Fatalf("%s workers=%d width=%d: %v", name, workers, width, err)
+				}
+				for i := range out {
+					if out[i] != refOut[i] {
+						t.Errorf("%s workers=%d width=%d trial %d: %+v vs reference %+v",
+							name, workers, width, i, out[i], refOut[i])
+					}
+				}
+				agg, err := json.Marshal(AggregateOutcomes(b, out))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(agg) != string(refAgg) {
+					t.Errorf("%s workers=%d width=%d: aggregate JSON differs:\n%s\nreference: %s",
+						name, workers, width, agg, refAgg)
+				}
+			}
+		}
+	}
+}

@@ -59,6 +59,57 @@ type Batch struct {
 	// automatically whenever the spec has a stepper builder. Like
 	// Workers, it must never affect results, only wall-clock time.
 	ForceProgramPath bool
+	// LaneWidth selects the lockstep lane width of the stepper fast
+	// path: 0 = automatic (AutoLaneWidth of the graph size), ≥ 1 =
+	// exactly that many resident trials per worker, < 0 = the legacy
+	// one-trial-at-a-time stepper path (a diagnostics knob like
+	// ForceProgramPath; the differential suite uses it to prove lane
+	// widths byte-identical). It never affects results, only
+	// wall-clock time and memory.
+	LaneWidth int
+}
+
+// DefaultLaneWidth is the widest automatic lockstep lane: wide enough
+// to amortize per-sweep overhead and stepper builds across resident
+// trials. AutoLaneWidth narrows it on large graphs.
+const DefaultLaneWidth = 8
+
+// laneAutoBudget caps the summed per-trial working set the automatic
+// lane width keeps resident per worker. Each interleaved trial
+// touches O(n) state every sweep (dense Sample counters, whiteboard
+// partitions, walker scratch), so widths whose combined footprint
+// outgrows the cache run slower than the per-trial path — measured:
+// width 8 at n = 65536 is ~6× slower than width 1 on one core.
+const laneAutoBudget = 1 << 21
+
+// AutoLaneWidth is the lockstep lane width a Batch with LaneWidth 0
+// resolves to on a graph with n vertices: DefaultLaneWidth, narrowed
+// so the resident trials' combined O(n) working set stays within a
+// per-worker cache budget, and never below 1.
+func AutoLaneWidth(n int) int {
+	width := DefaultLaneWidth
+	if per := 32 * n; per > 0 {
+		if w := laneAutoBudget / per; w < width {
+			width = w
+		}
+	}
+	return max(width, 1)
+}
+
+// laneWidth resolves the batch's lockstep lane width (0 when the
+// legacy per-trial stepper path was requested).
+func (b Batch) laneWidth() int {
+	switch {
+	case b.LaneWidth == 0:
+		n := 0
+		if b.Graph != nil {
+			n = b.Graph.N()
+		}
+		return AutoLaneWidth(n)
+	case b.LaneWidth < 0:
+		return 0
+	}
+	return b.LaneWidth
 }
 
 // Outcome is one trial reduced to what aggregation needs.
@@ -163,38 +214,64 @@ func TrialsScratch[S, T any](workers, n int, newScratch func() S, f func(scratch
 	if n <= 0 {
 		return nil
 	}
+	out := make([]T, n)
+	chunkedWorkers(workers, n, newScratch, func(scratch S, from, to int) {
+		for i := from; i < to; i++ {
+			out[i] = f(scratch, i)
+		}
+	})
+	return out
+}
+
+// claimChunk is the trial-index chunk size workers claim per atomic
+// operation: large enough that the shared cursor is off the hot path
+// (one contended add per 64 trials instead of per trial), small
+// enough that a straggling chunk can't idle the other workers of an
+// unbalanced batch for long.
+const claimChunk = 64
+
+// chunkedWorkers fans the index range [0, n) across a pool of
+// `workers` goroutines (≤ 0 = GOMAXPROCS) that claim claimChunk-sized
+// chunks from a shared cursor, calling run(scratch, from, to) for
+// each claimed chunk, and returns every worker's scratch once all
+// work is done (the streaming reducers merge them). Chunk claiming
+// partitions [0, n) exactly — every index is processed once — and
+// which worker claims which chunk must never affect results.
+func chunkedWorkers[S any](workers, n int, newScratch func() S, run func(scratch S, from, to int)) []S {
+	if n <= 0 {
+		return nil
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
-	out := make([]T, n)
 	if workers == 1 {
 		scratch := newScratch()
-		for i := 0; i < n; i++ {
-			out[i] = f(scratch, i)
-		}
-		return out
+		run(scratch, 0, n)
+		return []S{scratch}
 	}
+	scratches := make([]S, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			scratch := newScratch()
+			scratches[w] = scratch
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				from := int(next.Add(claimChunk)) - claimChunk
+				if from >= n {
 					return
 				}
-				out[i] = f(scratch, i)
+				run(scratch, from, min(from+claimChunk, n))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return out
+	return scratches
 }
 
 // RunOutcomes executes the batch and returns the per-trial outcomes
@@ -211,6 +288,13 @@ func RunOutcomes(b Batch) ([]Outcome, error) {
 		return nil, err
 	}
 	if b.useSteppers(spec) {
+		if width := b.laneWidth(); width > 0 {
+			out := make([]Outcome, b.Trials)
+			runLanes(b, spec, opts, width,
+				func() struct{} { return struct{}{} },
+				func(_ struct{}, trial int, o Outcome) { out[trial] = o })
+			return out, nil
+		}
 		return TrialsScratch(b.Workers, b.Trials, sim.NewTrialContext, func(tc *sim.TrialContext, i int) Outcome {
 			return runStepperTrial(b, spec, opts, tc, i)
 		}), nil
@@ -218,6 +302,43 @@ func RunOutcomes(b Batch) ([]Outcome, error) {
 	return Trials(b.Workers, b.Trials, func(i int) Outcome {
 		return runTrial(b, spec, opts, i)
 	}), nil
+}
+
+// laneWorker couples one worker's lockstep lane to its outcome sink.
+type laneWorker[S any] struct {
+	lane *sim.TrialLane
+	sink S
+}
+
+// runLanes executes the batch's trials on the lockstep lane path: a
+// pool of workers, each owning one sim.TrialLane of the given width
+// and one sink, claiming trial-index chunks and streaming each
+// finished trial's Outcome into the worker's sink via emit. It
+// returns every worker's sink (trial-indexed sinks write into shared
+// trial-indexed storage; reducer sinks get merged by the caller).
+// Lane width, worker count and chunk assignment never affect which
+// Outcome a trial produces.
+func runLanes[S any](b Batch, spec algo.Spec, opts algo.BuildOpts, width int, newSink func() S, emit func(sink S, trial int, o Outcome)) []S {
+	cfg := trialConfig(b, spec, 0) // per-trial seeds come from seedOf
+	seedOf := func(t int) uint64 { return TrialSeed(b.Seed, t) }
+	workers := chunkedWorkers(b.Workers, b.Trials, func() *laneWorker[S] {
+		return &laneWorker[S]{
+			lane: sim.NewTrialLane(width, func() (sim.Stepper, sim.Stepper, error) {
+				return spec.Steppers(opts)
+			}),
+			sink: newSink(),
+		}
+	}, func(w *laneWorker[S], from, to int) {
+		w.lane.Run(cfg, seedOf, from, to, func(trial int, res *sim.Result, err error) {
+			emit(w.sink, trial, OutcomeOf(res, err))
+		})
+	})
+	sinks := make([]S, len(workers))
+	for i, w := range workers {
+		w.lane.Close()
+		sinks[i] = w.sink
+	}
+	return sinks
 }
 
 // useSteppers reports whether the batch takes the stepper fast path.
@@ -238,7 +359,8 @@ func Run(b Batch) (*Aggregate, error) {
 // summary.
 func AggregateOutcomes(b Batch, outcomes []Outcome) *Aggregate {
 	agg := &Aggregate{Algorithm: b.Algorithm, Trials: len(outcomes), Seed: b.Seed}
-	var metRounds, moves []float64
+	metRounds := make([]float64, 0, len(outcomes))
+	moves := make([]float64, 0, len(outcomes))
 	for _, o := range outcomes {
 		if o.Met {
 			agg.Met++

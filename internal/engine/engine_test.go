@@ -236,3 +236,47 @@ func TestAggregateCounts(t *testing.T) {
 		t.Fatal("1-round budget should force some misses")
 	}
 }
+
+// The chunked-claim rewrite of the worker pool must preserve the
+// output layout exactly: out[i] == f(i) for every index, at any
+// worker count, across chunk-boundary edge cases (satellite of the
+// lockstep PR — chunk claiming changes which worker runs an index,
+// never where its result lands).
+func TestTrialsChunkedClaimOrdering(t *testing.T) {
+	sizes := []int{1, claimChunk - 1, claimChunk, claimChunk + 1, 5*claimChunk + 17}
+	for _, workers := range []int{1, 3, 7, 16} {
+		for _, n := range sizes {
+			got := Trials(workers, n, func(i int) int { return 3*i + 1 })
+			if len(got) != n {
+				t.Fatalf("workers=%d n=%d: %d results", workers, n, len(got))
+			}
+			for i, v := range got {
+				if v != 3*i+1 {
+					t.Fatalf("workers=%d n=%d: got[%d] = %d, want %d", workers, n, i, v, 3*i+1)
+				}
+			}
+		}
+	}
+	// chunkedWorkers itself: every index processed exactly once, and
+	// one scratch per live worker.
+	for _, workers := range []int{1, 4} {
+		n := 3*claimChunk + 5
+		var mu sync.Mutex
+		seen := make([]int, n)
+		scratches := chunkedWorkers(workers, n, func() int { return 0 }, func(_ int, from, to int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := from; i < to; i++ {
+				seen[i]++
+			}
+		})
+		if len(scratches) != workers {
+			t.Fatalf("workers=%d: %d scratches", workers, len(scratches))
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d claimed %d times", workers, i, c)
+			}
+		}
+	}
+}

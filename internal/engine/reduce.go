@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"math"
+	"slices"
+
+	"fnr/internal/sim"
+)
+
+// This file is the bounded-memory aggregation path: per-worker
+// Reducer state absorbs outcomes as trials finish, Merge combines the
+// workers' parts, and the merged reducer emits the same Aggregate
+// shape Run produces — without ever materializing an O(trials)
+// outcome slice. Memory is O(distinct observed values), which for
+// round/move counts is tiny compared to the trial count of the
+// 10M-trial sweeps this exists for (a batch drawing a million
+// distinct move totals would still hold two 16 MB tables, not a
+// 320 MB outcome slice).
+//
+// Determinism: a reducer is a multiset (sorted value → count
+// tables), so Merge is order- and partition-insensitive — any worker
+// count, lane width or chunk assignment merges to the same state,
+// byte for byte. Median/P95/Min/Max reproduce stats.Quantile's
+// arithmetic exactly (same interpolation on the same sorted values),
+// so they are bit-identical to AggregateOutcomes. Mean is the one
+// deliberate divergence: AggregateOutcomes streams Welford in trial
+// order (order-sensitive rounding), while the reducer computes the
+// multiset mean Σ value·count / n — deterministic and
+// partition-independent, but up to a few ULPs from the Welford
+// result. Values fit float64 exactly (round/move counts are bounded
+// by 4n²+1000 « 2⁵³).
+
+// Reducer accumulates one worker's stream of trial outcomes. The
+// zero value is empty and ready to use.
+type Reducer struct {
+	trials, met, errors int
+	rounds, moves       distCounter
+}
+
+// NewReducer returns an empty reducer (the sink builder the lane
+// path wants).
+func NewReducer() *Reducer { return &Reducer{} }
+
+// Add absorbs one trial's outcome, mirroring AggregateOutcomes'
+// per-outcome bookkeeping: meeting rounds over met trials, move
+// totals over non-erroring trials.
+func (r *Reducer) Add(o Outcome) {
+	r.trials++
+	if o.Met {
+		r.met++
+		r.rounds.add(o.Rounds, 1)
+	}
+	if o.Err {
+		r.errors++
+		return
+	}
+	r.moves.add(o.Moves, 1)
+}
+
+// Merge combines per-worker reducers into one. It is insensitive to
+// the order and the partition of the parts: any split of the same
+// outcome multiset merges to the same state.
+func Merge(parts ...*Reducer) *Reducer {
+	m := NewReducer()
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		m.trials += p.trials
+		m.met += p.met
+		m.errors += p.errors
+		m.rounds.merge(&p.rounds)
+		m.moves.merge(&p.moves)
+	}
+	return m
+}
+
+// Aggregate emits the batch summary from the reduced state — the
+// same shape (and, Mean's rounding aside, the same bytes) as
+// Run/AggregateOutcomes.
+func (r *Reducer) Aggregate(b Batch) *Aggregate {
+	agg := &Aggregate{
+		Algorithm: b.Algorithm,
+		Trials:    r.trials,
+		Seed:      b.Seed,
+		Met:       r.met,
+		Failures:  r.trials - r.met,
+		Errors:    r.errors,
+	}
+	if r.trials > 0 {
+		agg.SuccessRate = float64(r.met) / float64(r.trials)
+	}
+	agg.Rounds = r.rounds.dist()
+	agg.Moves = r.moves.dist()
+	return agg
+}
+
+// RunStreaming executes the batch like Run but aggregates through
+// per-worker reducers: engine-owned memory is bounded by the number
+// of distinct observed values instead of the trial count, which is
+// what makes 10M-trial batches practical. Results are deterministic
+// at any worker count, lane width and path choice; see the file
+// comment for the one documented Mean-rounding divergence from Run.
+func RunStreaming(b Batch) (*Aggregate, error) {
+	spec, opts, err := b.prepare()
+	if err != nil {
+		return nil, err
+	}
+	var parts []*Reducer
+	switch {
+	case b.useSteppers(spec) && b.laneWidth() > 0:
+		parts = runLanes(b, spec, opts, b.laneWidth(), NewReducer,
+			func(r *Reducer, _ int, o Outcome) { r.Add(o) })
+	case b.useSteppers(spec):
+		type scratch struct {
+			tc *sim.TrialContext
+			r  *Reducer
+		}
+		for _, s := range chunkedWorkers(b.Workers, b.Trials, func() *scratch {
+			return &scratch{tc: sim.NewTrialContext(), r: NewReducer()}
+		}, func(s *scratch, from, to int) {
+			for i := from; i < to; i++ {
+				s.r.Add(runStepperTrial(b, spec, opts, s.tc, i))
+			}
+		}) {
+			parts = append(parts, s.r)
+		}
+	default:
+		parts = chunkedWorkers(b.Workers, b.Trials, NewReducer,
+			func(r *Reducer, from, to int) {
+				for i := from; i < to; i++ {
+					r.Add(runTrial(b, spec, opts, i))
+				}
+			})
+	}
+	return Merge(parts...).Aggregate(b), nil
+}
+
+// distCounter is a sorted value → count table: the bounded
+// representation of a multiset of int64 observations. The zero value
+// is an empty multiset.
+type distCounter struct {
+	vals   []int64
+	counts []int64
+	n      int64
+}
+
+// add records c occurrences of v.
+func (d *distCounter) add(v, c int64) {
+	i, ok := slices.BinarySearch(d.vals, v)
+	if ok {
+		d.counts[i] += c
+	} else {
+		d.vals = slices.Insert(d.vals, i, v)
+		d.counts = slices.Insert(d.counts, i, c)
+	}
+	d.n += c
+}
+
+// merge folds another counter's table into this one.
+func (d *distCounter) merge(o *distCounter) {
+	for i, v := range o.vals {
+		d.add(v, o.counts[i])
+	}
+}
+
+// dist summarizes the multiset exactly as DistOf summarizes the
+// expanded sample — bit-identical for Median/P95/Min/Max (same
+// quantile arithmetic on the same sorted values); Mean is the exact
+// multiset mean (see the file comment).
+func (d *distCounter) dist() Dist {
+	if d.n == 0 {
+		return Dist{}
+	}
+	var sum float64
+	for i, v := range d.vals {
+		sum += float64(v) * float64(d.counts[i])
+	}
+	return Dist{
+		Mean:   sum / float64(d.n),
+		Median: d.quantile(0.5),
+		P95:    d.quantile(0.95),
+		Min:    float64(d.vals[0]),
+		Max:    float64(d.vals[len(d.vals)-1]),
+	}
+}
+
+// quantile reproduces stats.Quantile's linear interpolation on the
+// sorted expansion of the multiset, via rank lookups instead of an
+// expanded slice: float64(int64) conversion is monotone and exact
+// here, so sorted int64 order IS the sorted float64 order and the
+// interpolation arithmetic matches bit for bit.
+func (d *distCounter) quantile(q float64) float64 {
+	if d.n == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return float64(d.vals[0])
+	}
+	if q >= 1 {
+		return float64(d.vals[len(d.vals)-1])
+	}
+	pos := q * float64(d.n-1)
+	lo := int64(math.Floor(pos))
+	hi := int64(math.Ceil(pos))
+	vlo := float64(d.rank(lo))
+	if lo == hi {
+		return vlo
+	}
+	vhi := float64(d.rank(hi))
+	frac := pos - float64(lo)
+	return vlo*(1-frac) + vhi*frac
+}
+
+// rank returns the value at 0-based rank r of the sorted expansion.
+func (d *distCounter) rank(r int64) int64 {
+	var cum int64
+	for i, c := range d.counts {
+		cum += c
+		if r < cum {
+			return d.vals[i]
+		}
+	}
+	return d.vals[len(d.vals)-1]
+}

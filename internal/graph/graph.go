@@ -41,6 +41,7 @@ import (
 	"math/bits"
 	"slices"
 	"sort"
+	"sync/atomic"
 )
 
 // Vertex is a dense internal vertex index in [0, N).
@@ -80,7 +81,22 @@ type Graph struct {
 	minDeg   int
 	maxDeg   int
 	edges    int
+	// stamp is a process-unique identity assigned at construction.
+	// Graphs are immutable, so two equal stamps guarantee identical
+	// structure — the key algorithm scratch uses to carry
+	// graph-derived caches (e.g. port lookups) across trials.
+	stamp uint64
 }
+
+// nextStamp issues process-unique graph identities; 0 is reserved as
+// "no graph" so zero-valued contexts never match a cache key.
+var nextStamp atomic.Uint64
+
+// Stamp returns the graph's process-unique construction identity
+// (never 0 for a built graph). Equal stamps imply the same immutable
+// graph, letting per-agent scratch reuse graph-derived caches across
+// trials without structural comparison.
+func (g *Graph) Stamp() uint64 { return g.stamp }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.ids) }
@@ -324,6 +340,7 @@ func (s idPortSorter) Swap(i, j int) {
 func (g *Graph) buildDerived() {
 	n := len(g.ids)
 	arcs := len(g.nbrs)
+	g.stamp = nextStamp.Add(1)
 	g.buildIDIndex()
 	g.computeDegreeStats()
 

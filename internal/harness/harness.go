@@ -33,6 +33,10 @@ type Config struct {
 	Seeds int
 	// Workers bounds trial parallelism (default GOMAXPROCS).
 	Workers int
+	// LaneWidth selects the engine's lockstep lane width (0 = the
+	// engine default, < 0 = the per-trial stepper path). Like Workers
+	// it never affects results, only wall-clock time and memory.
+	LaneWidth int
 	// Params selects the algorithm constants (default
 	// core.PracticalParams; see DESIGN.md on constant scaling).
 	Params core.Params
@@ -124,6 +128,7 @@ func runAlgo(cfg Config, trials int, batchSeed uint64, g *graph.Graph, sa, sb gr
 		Seed:      batchSeed,
 		MaxRounds: maxRounds,
 		Workers:   cfg.Workers,
+		LaneWidth: cfg.LaneWidth,
 	})
 }
 

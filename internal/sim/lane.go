@@ -1,0 +1,187 @@
+package sim
+
+import "errors"
+
+// TrialLane is the batch engine's lockstep scheduler: it keeps up to
+// W trials of the same configuration resident at once, stored as
+// parallel per-slot slices (struct-of-arrays), and advances every
+// resident trial by one runtime tick per sweep. A finished trial is
+// emitted and its slot immediately re-armed with the next trial of
+// the caller's range, so a worker's stepper pairs and per-slot
+// scratch (whiteboards, PCG state, walker tables) live for the whole
+// range instead of one trial:
+//
+//   - When both steppers implement Reusable, each slot builds its
+//     pair exactly once and Reset re-arms it per trial — the
+//     spec.Steppers builder cost is amortized away entirely.
+//   - Otherwise the pair is rebuilt (and the old one Finished) per
+//     trial, which is always correct, just slower.
+//
+// The lane never changes results: each resident trial owns a full
+// TrialContext (its own whiteboard array, random streams, scratch and
+// lockstep runtime), ticks are the same state transitions a solo
+// runSteppers performs, and trials are identified by index, so the
+// lane width — like the engine's worker count — affects wall-clock
+// time and memory only. The engine's differential suite pins this.
+//
+// A TrialLane is not safe for concurrent use; give each worker
+// goroutine its own.
+type TrialLane struct {
+	build    func() (Stepper, Stepper, error)
+	canReset bool // both steppers implement Reusable (set at first build)
+
+	// Per-slot parallel state, indexed by lane slot: the resident
+	// trial (-1 = empty), the stepper pair, and the TrialContext
+	// holding the slot's agent positions, round counters, PCG states
+	// and scratch. res is the slot's reusable result box.
+	trial    []int
+	steppers [][2]Stepper
+	built    []bool
+	tcs      []*TrialContext
+	res      []Result
+
+	live int
+}
+
+// NewTrialLane returns a lane of the given width (clamped to ≥ 1)
+// over the given stepper builder. The lane owns the steppers it
+// builds: call Close when done with the lane to honor their Finish
+// lifecycle.
+func NewTrialLane(width int, build func() (Stepper, Stepper, error)) *TrialLane {
+	if width < 1 {
+		width = 1
+	}
+	l := &TrialLane{
+		build:    build,
+		trial:    make([]int, width),
+		steppers: make([][2]Stepper, width),
+		built:    make([]bool, width),
+		tcs:      make([]*TrialContext, width),
+		res:      make([]Result, width),
+	}
+	for s := range l.trial {
+		l.trial[s] = -1
+		l.tcs[s] = NewTrialContext()
+	}
+	return l
+}
+
+// Width returns the lane's slot count.
+func (l *TrialLane) Width() int { return len(l.trial) }
+
+// Run executes trials [from, to) of cfg in lockstep, with trial t
+// seeded by seedOf(t) (cfg.Seed is ignored; seed 0 normalizes to 1
+// exactly as everywhere else). emit is called exactly once per trial,
+// in completion order — not trial order — with either the trial's
+// result or its error (validation failures, builder errors and
+// aborts, matching what a solo run of that trial would return). The
+// *Result points at the slot's reusable box and is only valid during
+// the emit call.
+//
+// Run may be called repeatedly on one lane (the engine calls it once
+// per claimed chunk); steppers and scratch stay warm across calls.
+func (l *TrialLane) Run(cfg Config, seedOf func(trial int) uint64, from, to int, emit func(trial int, res *Result, err error)) {
+	if from < 0 {
+		from = 0
+	}
+	if from >= to {
+		return
+	}
+	if err := cfg.validate(); err != nil {
+		for t := from; t < to; t++ {
+			emit(t, nil, err)
+		}
+		return
+	}
+	next := from
+	for s := range l.trial {
+		next = l.refill(s, cfg, seedOf, next, to, emit)
+	}
+	for l.live > 0 {
+		for s := range l.trial {
+			t := l.trial[s]
+			if t < 0 {
+				continue
+			}
+			done, err := l.tcs[s].rt.tick(&l.res[s])
+			if !done {
+				continue
+			}
+			l.trial[s] = -1
+			l.live--
+			if err != nil {
+				emit(t, nil, err)
+			} else {
+				emit(t, &l.res[s], nil)
+			}
+			next = l.refill(s, cfg, seedOf, next, to, emit)
+		}
+	}
+}
+
+// refill arms slot s with successive trials starting at next until
+// one arms successfully or the range [next, to) drains, emitting an
+// error outcome for every trial whose arm failed (builder errors —
+// exactly how the one-at-a-time path surfaces them). It returns the
+// new next.
+func (l *TrialLane) refill(s int, cfg Config, seedOf func(int) uint64, next, to int, emit func(int, *Result, error)) int {
+	for next < to {
+		t := next
+		next++
+		if err := l.arm(s, cfg, seedOf(t)); err != nil {
+			emit(t, nil, err)
+			continue
+		}
+		l.trial[s] = t
+		l.live++
+		break
+	}
+	return next
+}
+
+// arm readies slot s for one trial: Reset the resident pair when the
+// reuse contract holds, rebuild it otherwise, then prime the slot's
+// TrialContext for the seeded run.
+func (l *TrialLane) arm(s int, cfg Config, seed uint64) error {
+	if l.built[s] && !l.canReset {
+		Finish(l.steppers[s][0])
+		Finish(l.steppers[s][1])
+		l.built[s] = false
+	}
+	reuse := l.built[s]
+	if !reuse {
+		a, b, err := l.build()
+		if err != nil || a == nil || b == nil {
+			Finish(a)
+			Finish(b)
+			if err == nil {
+				err = errors.New("sim: lane builder returned a nil stepper")
+			}
+			return err
+		}
+		l.steppers[s] = [2]Stepper{a, b}
+		l.built[s] = true
+		_, ra := a.(Reusable)
+		_, rb := b.(Reusable)
+		l.canReset = ra && rb
+	}
+	cfg.Seed = seed
+	l.tcs[s].arm(cfg, l.steppers[s][0], l.steppers[s][1], reuse)
+	return nil
+}
+
+// Close finishes every built stepper pair and empties the lane. The
+// lane remains usable afterwards (slots rebuild on the next Run).
+func (l *TrialLane) Close() {
+	for s := range l.steppers {
+		if !l.built[s] {
+			continue
+		}
+		Finish(l.steppers[s][0])
+		Finish(l.steppers[s][1])
+		l.built[s] = false
+		l.steppers[s] = [2]Stepper{}
+		l.trial[s] = -1
+	}
+	l.live = 0
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// reusableWalkStepper is walkStepper plus the lane reuse contract.
+type reusableWalkStepper struct{ walkStepper }
+
+func (s *reusableWalkStepper) Reset(ctx *StepContext) { s.Init(ctx) }
+
+// laneSeed mirrors the engine's per-trial seed derivation shape: any
+// injective map of trial index to seed works for these tests.
+func laneSeed(t int) uint64 { return uint64(t)*2654435761 + 17 }
+
+// TestLaneMatchesSoloRuns pins the lane's core guarantee: running a
+// range of trials through a TrialLane — at any width, reusable or
+// not — produces exactly the results of running each trial alone
+// with a fresh context and freshly built steppers.
+func TestLaneMatchesSoloRuns(t *testing.T) {
+	g := mustComplete(t, 12)
+	cfg := Config{Graph: g, StartA: 0, StartB: 7, MaxRounds: 100000}
+	const trials = 40
+
+	want := make([]*Result, trials)
+	for i := range want {
+		c := cfg
+		c.Seed = laneSeed(i)
+		res, err := RunSteppers(c, &walkStepper{}, &walkStepper{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	builders := map[string]func() (Stepper, Stepper, error){
+		"reusable": func() (Stepper, Stepper, error) {
+			return &reusableWalkStepper{}, &reusableWalkStepper{}, nil
+		},
+		"rebuild": func() (Stepper, Stepper, error) {
+			return &walkStepper{}, &walkStepper{}, nil
+		},
+	}
+	for name, build := range builders {
+		for _, width := range []int{1, 3, 8, 64} {
+			t.Run(fmt.Sprintf("%s/width=%d", name, width), func(t *testing.T) {
+				lane := NewTrialLane(width, build)
+				defer lane.Close()
+				got := make([]*Result, trials)
+				// Two chunked calls on one lane, like the engine's
+				// chunk claiming, to cover warm re-Run.
+				emit := func(trial int, res *Result, err error) {
+					if err != nil {
+						t.Fatalf("trial %d: %v", trial, err)
+					}
+					if got[trial] != nil {
+						t.Fatalf("trial %d emitted twice", trial)
+					}
+					c := *res
+					got[trial] = &c
+				}
+				lane.Run(cfg, laneSeed, 0, trials/2, emit)
+				lane.Run(cfg, laneSeed, trials/2, trials, emit)
+				for i := range want {
+					if got[i] == nil {
+						t.Fatalf("trial %d never emitted", i)
+					}
+					if *got[i] != *want[i] {
+						t.Errorf("trial %d: lane %+v != solo %+v", i, *got[i], *want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLaneBuilderAmortization pins the reuse contract's economics:
+// a Reusable pair is built once per slot, a plain pair once per
+// trial.
+func TestLaneBuilderAmortization(t *testing.T) {
+	g := mustComplete(t, 8)
+	cfg := Config{Graph: g, StartA: 0, StartB: 3, MaxRounds: 100000}
+	const trials, width = 20, 4
+
+	count := func(build func() (Stepper, Stepper, error)) int {
+		n := 0
+		lane := NewTrialLane(width, func() (Stepper, Stepper, error) {
+			n++
+			return build()
+		})
+		defer lane.Close()
+		lane.Run(cfg, laneSeed, 0, trials, func(_ int, _ *Result, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		return n
+	}
+
+	if n := count(func() (Stepper, Stepper, error) {
+		return &reusableWalkStepper{}, &reusableWalkStepper{}, nil
+	}); n != width {
+		t.Errorf("reusable pair: %d builds, want %d (one per slot)", n, width)
+	}
+	if n := count(func() (Stepper, Stepper, error) {
+		return &walkStepper{}, &walkStepper{}, nil
+	}); n != trials {
+		t.Errorf("plain pair: %d builds, want %d (one per trial)", n, trials)
+	}
+}
+
+// TestLaneBuilderErrors: a failing builder surfaces as a per-trial
+// error outcome, exactly as the one-at-a-time path reports it, and
+// never stalls the rest of the range.
+func TestLaneBuilderErrors(t *testing.T) {
+	g := mustComplete(t, 8)
+	cfg := Config{Graph: g, StartA: 0, StartB: 3, MaxRounds: 100000}
+	boom := errors.New("boom")
+	calls := 0
+	lane := NewTrialLane(2, func() (Stepper, Stepper, error) {
+		calls++
+		if calls%2 == 0 {
+			return nil, nil, boom
+		}
+		return &walkStepper{}, &walkStepper{}, nil
+	})
+	defer lane.Close()
+
+	const trials = 10
+	okTrials, errTrials := 0, 0
+	lane.Run(cfg, laneSeed, 0, trials, func(trial int, res *Result, err error) {
+		switch {
+		case err != nil:
+			if !errors.Is(err, boom) {
+				t.Errorf("trial %d: error %v, want %v", trial, err, boom)
+			}
+			errTrials++
+		case res == nil:
+			t.Errorf("trial %d: nil result without error", trial)
+		default:
+			okTrials++
+		}
+	})
+	if okTrials+errTrials != trials {
+		t.Fatalf("emitted %d outcomes, want %d", okTrials+errTrials, trials)
+	}
+	if errTrials == 0 || okTrials == 0 {
+		t.Fatalf("want a mix of successes and failures, got %d ok / %d err", okTrials, errTrials)
+	}
+}
+
+// TestLaneNilStepperBuilder: a builder returning nil steppers without
+// an error still yields a per-trial error, not a panic.
+func TestLaneNilStepperBuilder(t *testing.T) {
+	g := mustComplete(t, 8)
+	cfg := Config{Graph: g, StartA: 0, StartB: 3, MaxRounds: 100000}
+	lane := NewTrialLane(2, func() (Stepper, Stepper, error) {
+		return nil, nil, nil
+	})
+	defer lane.Close()
+	emitted := 0
+	lane.Run(cfg, laneSeed, 0, 4, func(trial int, res *Result, err error) {
+		emitted++
+		if err == nil {
+			t.Errorf("trial %d: want error for nil steppers", trial)
+		}
+	})
+	if emitted != 4 {
+		t.Fatalf("emitted %d outcomes, want 4", emitted)
+	}
+}
+
+// TestLaneValidationErrors: an invalid configuration is reported for
+// every trial of the range without building any steppers.
+func TestLaneValidationErrors(t *testing.T) {
+	builds := 0
+	lane := NewTrialLane(4, func() (Stepper, Stepper, error) {
+		builds++
+		return &walkStepper{}, &walkStepper{}, nil
+	})
+	defer lane.Close()
+	emitted := 0
+	lane.Run(Config{}, laneSeed, 0, 6, func(trial int, res *Result, err error) {
+		emitted++
+		if err == nil || res != nil {
+			t.Errorf("trial %d: want validation error, got res=%v err=%v", trial, res, err)
+		}
+	})
+	if emitted != 6 {
+		t.Fatalf("emitted %d outcomes, want 6", emitted)
+	}
+	if builds != 0 {
+		t.Errorf("builder ran %d times on an invalid config, want 0", builds)
+	}
+}

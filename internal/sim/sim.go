@@ -164,16 +164,37 @@ func runSteppers(cfg Config, tc *TrialContext, stA, stB Stepper) (*Result, error
 	// Finisher.
 	defer Finish(stA)
 	defer Finish(stB)
-	if cfg.Graph == nil {
-		return nil, errors.New("sim: nil graph")
-	}
-	n := graph.Vertex(cfg.Graph.N())
-	if cfg.StartA < 0 || cfg.StartA >= n || cfg.StartB < 0 || cfg.StartB >= n {
-		return nil, fmt.Errorf("sim: start vertices (%d, %d) out of range [0,%d)", cfg.StartA, cfg.StartB, n)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	if stA == nil || stB == nil {
 		return nil, errors.New("sim: nil agent (program or stepper)")
 	}
+	tc.arm(cfg, stA, stB, false)
+	return tc.rt.run()
+}
+
+// validate checks the configuration invariants shared by every entry
+// point (solo runs and the lane scheduler alike).
+func (cfg *Config) validate() error {
+	if cfg.Graph == nil {
+		return errors.New("sim: nil graph")
+	}
+	n := graph.Vertex(cfg.Graph.N())
+	if cfg.StartA < 0 || cfg.StartA >= n || cfg.StartB < 0 || cfg.StartB >= n {
+		return fmt.Errorf("sim: start vertices (%d, %d) out of range [0,%d)", cfg.StartA, cfg.StartB, n)
+	}
+	return nil
+}
+
+// arm primes tc for one run of cfg: reset the lockstep runtime in
+// place, re-arm the whiteboard array, reseed both agents' private
+// streams, and hand each stepper its run context — Init for a freshly
+// built pair, Reset for a reused one (reuse=true requires both
+// steppers to implement Reusable). The caller has validated cfg and
+// the steppers. The runtime lives on the trial context: one wholesale
+// reset per run instead of one allocation per trial.
+func (tc *TrialContext) arm(cfg Config, stA, stB Stepper, reuse bool) {
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds(cfg.Graph)
@@ -182,9 +203,6 @@ func runSteppers(cfg Config, tc *TrialContext, stA, stB Stepper) (*Result, error
 	if seed == 0 {
 		seed = 1
 	}
-
-	// The runtime lives on the trial context: one wholesale reset per
-	// run instead of one allocation per trial.
 	rt := &tc.rt
 	*rt = runtime{
 		g:           cfg.Graph,
@@ -214,10 +232,14 @@ func runSteppers(cfg Config, tc *TrialContext, stA, stB Stepper) (*Result, error
 			Whiteboards: cfg.Whiteboards,
 			Rand:        tc.randFor(i, seed, streams[i]),
 			Scratch:     &tc.scratch[i],
+			GraphStamp:  cfg.Graph.Stamp(),
 		}
-		st.Init(ctx)
+		if reuse {
+			st.(Reusable).Reset(ctx)
+		} else {
+			st.Init(ctx)
+		}
 	}
-	return rt.run()
 }
 
 // runtime is the per-run lockstep engine.
@@ -251,81 +273,101 @@ type agentState struct {
 }
 
 func (rt *runtime) run() (*Result, error) {
-	a, b := &rt.agents[0], &rt.agents[1]
+	res := new(Result)
 	for {
-		// Rendezvous check at the beginning of the round.
-		if a.pos == b.pos && !rt.noMeeting && rt.round >= rt.meetFrom {
-			res := rt.result()
-			res.Met = true
-			res.MeetRound = rt.round
-			res.MeetVertex = a.pos
+		done, err := rt.tick(res)
+		if err != nil {
+			return nil, err
+		}
+		if done {
 			return res, nil
 		}
-		if rt.round >= rt.maxRounds {
-			return rt.result(), nil
+	}
+}
+
+// tick executes one iteration of the lockstep loop — the round-start
+// checks, then at most one acting round (or one fast-forwarded block
+// of waiting rounds) — and reports whether the run ended, filling out
+// with the final result when it did. Factored out of run so the lane
+// scheduler (TrialLane) can interleave many resident trials one tick
+// at a time with semantics identical to a solo run.
+func (rt *runtime) tick(out *Result) (done bool, err error) {
+	a, b := &rt.agents[0], &rt.agents[1]
+	// Rendezvous check at the beginning of the round.
+	if a.pos == b.pos && !rt.noMeeting && rt.round >= rt.meetFrom {
+		rt.fill(out)
+		out.Met = true
+		out.MeetRound = rt.round
+		out.MeetVertex = a.pos
+		return true, nil
+	}
+	if rt.round >= rt.maxRounds {
+		rt.fill(out)
+		return true, nil
+	}
+	if a.halted && b.halted {
+		rt.fill(out)
+		return true, nil
+	}
+	// Fast-forward: if every live agent is mid-wait, skip ahead.
+	if skip := rt.skippable(); skip > 1 {
+		capped := min(skip, rt.maxRounds-rt.round)
+		if rt.round < rt.meetFrom {
+			// Do not skip past the detection barrier: the meeting
+			// check must run exactly at meetFrom.
+			capped = min(capped, rt.meetFrom-rt.round)
 		}
-		if a.halted && b.halted {
-			return rt.result(), nil
+		for i := range rt.agents {
+			if d := &rt.agents[i]; !d.halted {
+				d.waiting -= capped
+				d.stays += capped
+			}
 		}
-		// Fast-forward: if every live agent is mid-wait, skip ahead.
-		if skip := rt.skippable(); skip > 1 {
-			capped := min(skip, rt.maxRounds-rt.round)
-			if rt.round < rt.meetFrom {
-				// Do not skip past the detection barrier: the meeting
-				// check must run exactly at meetFrom.
-				capped = min(capped, rt.meetFrom-rt.round)
-			}
-			for i := range rt.agents {
-				if d := &rt.agents[i]; !d.halted {
-					d.waiting -= capped
-					d.stays += capped
-				}
-			}
-			rt.observe(capped)
-			rt.round += capped
+		rt.observe(capped)
+		rt.round += capped
+		return false, nil
+	}
+	// Collect one action from each live agent, a first.
+	for i := range rt.agents {
+		d := &rt.agents[i]
+		if d.halted {
 			continue
 		}
-		// Collect one action from each live agent, a first.
-		for i := range rt.agents {
-			d := &rt.agents[i]
-			if d.halted {
-				continue
-			}
-			if d.waiting > 0 {
-				d.waiting--
-				d.stays++
-				continue
-			}
-			if err := rt.step(d); err != nil {
-				return nil, fmt.Errorf("sim: agent %s: %w", d.name, err)
-			}
+		if d.waiting > 0 {
+			d.waiting--
+			d.stays++
+			continue
 		}
-		// Commit whiteboard writes in agent order. When the agents
-		// occupy the same vertex (possible under DisableMeeting or
-		// before MeetingFromRound) and both wrote this round, agent
-		// b's value wins — last-writer-wins in (a, b) order is a
-		// documented guarantee, and both writes still count.
-		for i := range rt.agents {
-			d := &rt.agents[i]
-			if d.pendingWrite {
-				d.pendingWrite = false
-				if rt.whiteboards {
-					rt.boards[d.pos] = d.writeVal
-					rt.writes++
-				}
-			}
+		if err := rt.step(d); err != nil {
+			return true, fmt.Errorf("sim: agent %s: %w", d.name, err)
 		}
-		rt.observe(1)
-		for i := range rt.agents {
-			d := &rt.agents[i]
-			if d.moveTo != graph.NilVertex {
-				d.pos = d.moveTo
-				d.moveTo = graph.NilVertex
-				d.moves++
-			}
-		}
-		rt.round++
 	}
+	// Commit whiteboard writes in agent order. When the agents
+	// occupy the same vertex (possible under DisableMeeting or
+	// before MeetingFromRound) and both wrote this round, agent
+	// b's value wins — last-writer-wins in (a, b) order is a
+	// documented guarantee, and both writes still count.
+	for i := range rt.agents {
+		d := &rt.agents[i]
+		if d.pendingWrite {
+			d.pendingWrite = false
+			if rt.whiteboards {
+				rt.boards[d.pos] = d.writeVal
+				rt.writes++
+			}
+		}
+	}
+	rt.observe(1)
+	for i := range rt.agents {
+		d := &rt.agents[i]
+		if d.moveTo != graph.NilVertex {
+			d.pos = d.moveTo
+			d.moveTo = graph.NilVertex
+			d.moves++
+		}
+	}
+	rt.round++
+	return false, nil
 }
 
 // step builds d's view of the current round, asks its stepper for one
@@ -406,9 +448,13 @@ func (rt *runtime) observe(skipped int64) {
 	})
 }
 
-func (rt *runtime) result() *Result {
+// fill overwrites out with the run's final statistics (the caller
+// sets the Met fields when the run ended in a rendezvous). Writing
+// into a caller-provided box lets the lane path reuse one Result per
+// slot instead of allocating one per trial.
+func (rt *runtime) fill(out *Result) {
 	a, b := &rt.agents[0], &rt.agents[1]
-	return &Result{
+	*out = Result{
 		Rounds: rt.round,
 		A:      AgentStats{Moves: a.moves, Stays: a.stays, Halted: a.halted},
 		B:      AgentStats{Moves: b.moves, Stays: b.stays, Halted: b.halted},

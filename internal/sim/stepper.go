@@ -58,6 +58,12 @@ type StepContext struct {
 	// context driving the run, or nil when the runtime offers no reuse
 	// (hand-built contexts in tests). See AgentScratch.
 	Scratch *AgentScratch
+	// GraphStamp is the run graph's process-unique construction
+	// identity (graph.Graph.Stamp), or 0 when unknown (hand-built
+	// contexts). Equal non-zero stamps across runs guarantee the same
+	// immutable graph, so scratch parked on the slot may carry
+	// graph-derived caches between trials keyed on it.
+	GraphStamp uint64
 }
 
 // AgentScratch is one agent's opaque scratch slot on a TrialContext.
@@ -184,6 +190,20 @@ func (a Action) WithWrite(val int64) Action {
 	a.write = true
 	a.writeVal = val
 	return a
+}
+
+// Reusable is the optional stepper-reuse extension the lane scheduler
+// (TrialLane) amortizes builder calls with: Reset(ctx) must leave the
+// stepper in exactly the state a freshly built stepper is in after
+// Init(ctx) — callable from any prior state, including mid-run
+// abandonment and aborts. Implementations may keep grown buffers
+// (capacity reuse must never influence results — the same contract as
+// AgentScratch). When either stepper of a pair does not implement
+// Reusable, the lane rebuilds (and Finishes) the pair for every
+// trial, which is always correct, just slower. The native paper
+// steppers and all five baselines implement it.
+type Reusable interface {
+	Reset(ctx *StepContext)
 }
 
 // Finisher is the optional stepper-lifecycle extension: a Stepper
