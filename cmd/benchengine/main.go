@@ -20,6 +20,13 @@
 // streaming reducer: the batch runs through RunBatchStreaming and the
 // report records the live heap afterwards as a bounded-memory witness.
 //
+// A fourth preset ("huge", default PlantedMinDegree(2²⁰, 64))
+// exercises the 64-bit graph core end to end: bulk Hamiltonian-cycle
+// generation (timed against the sequential prefix it replaced), a v3
+// chunked write to a real file, a streaming read back with a
+// transient-memory witness (io.read_peak_transient_mb, gated under
+// 2×V3MaxChunkLen by -assert-huge-io), and one sweep lane batch.
+//
 // Usage:
 //
 //	benchengine              # writes BENCH_engine.json in the cwd
@@ -30,9 +37,11 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"math/rand/v2"
 	"os"
@@ -149,6 +158,56 @@ type ioReport struct {
 	TextBytes int `json:"text_bytes"`
 }
 
+// hugeReport is the million-vertex preset (default n=2²⁰, d=64): it
+// exercises the 64-bit graph core end to end — parallel planted
+// generation, a v3 chunked write to disk, a streaming read back, and
+// one lane batch of the ∆-sweep baseline (d « √n is outside the
+// whiteboard algorithm's δ ≥ √n regime). The prefix timings compare
+// the sequential Hamiltonian-cycle edge loop against the bulk
+// AddCycle fill that PlantedMinDegree now uses.
+type hugeReport struct {
+	N       int    `json:"n"`
+	D       int    `json:"d"`
+	Trials  int    `json:"trials"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	// GenElapsedMS is wall-clock for generating the preset's graph
+	// (bulk cycle prefix + deficit loop + CSR build).
+	GenElapsedMS int64 `json:"gen_elapsed_ms"`
+	// PrefixSerialElapsedMS times the pre-bulk generation prefix (n
+	// sequential MustAddEdge calls over a Hamiltonian cycle);
+	// PrefixBulkElapsedMS the byte-equivalent AddCycle fill;
+	// PrefixSpeedup their ratio.
+	PrefixSerialElapsedMS int64         `json:"prefix_serial_elapsed_ms"`
+	PrefixBulkElapsedMS   int64         `json:"prefix_bulk_elapsed_ms"`
+	PrefixSpeedup         float64       `json:"prefix_speedup"`
+	IO                    *hugeIOReport `json:"io"`
+	// Batch fields: one lane-path sweep batch at the configured
+	// worker count.
+	Algorithm    string         `json:"algorithm"`
+	ElapsedMS    int64          `json:"elapsed_ms"`
+	TrialsPerSec float64        `json:"trials_per_sec"`
+	LaneWidth    int            `json:"lane_width"`
+	Aggregate    *fnr.Aggregate `json:"aggregate"`
+}
+
+// hugeIOReport times the huge preset's serialize→parse round trip
+// through the v3 chunked format on a real file (the only format able
+// to carry graphs past 2³¹ arcs), with a transient-memory witness.
+type hugeIOReport struct {
+	// WriteElapsedMS / ReadElapsedMS are wall-clock for the v3 write
+	// and the streaming read back; Bytes is the serialized size.
+	WriteElapsedMS int64 `json:"write_elapsed_ms"`
+	ReadElapsedMS  int64 `json:"read_elapsed_ms"`
+	Bytes          int64 `json:"bytes"`
+	// ReadPeakTransientMB is the decode's allocation total beyond the
+	// returned graph's own footprint (runtime.ReadMemStats TotalAlloc
+	// delta minus the computed CSR array bytes) — the witness that
+	// streaming decode memory is O(chunk), not O(file). The CI gate
+	// requires it under 2× the frame cap (2 × V3MaxChunkLen = 8 MiB).
+	ReadPeakTransientMB float64 `json:"read_peak_transient_mb"`
+}
+
 // megaReport is the streaming-aggregation preset: a 10M-trial batch
 // on a tiny instance, run through RunBatchStreaming, proving the
 // engine sustains trial counts whose outcome slice alone would cost
@@ -184,6 +243,7 @@ type report struct {
 	Batches      map[string]batchReport `json:"batches"`
 	Large        *largeReport           `json:"large,omitempty"`
 	Mega         *megaReport            `json:"mega,omitempty"`
+	Huge         *hugeReport            `json:"huge,omitempty"`
 }
 
 // timeReads serializes g in both formats and times parsing each back,
@@ -333,6 +393,129 @@ func genWorkload(n, d int, seed uint64) (*fnr.Graph, fnr.Vertex, fnr.Vertex, int
 	return g, sa, sb, genMS
 }
 
+// graphFootprint is the byte count of the CSR arrays a parsed graph
+// retains, computed from its dimensions: ids (8 per vertex), offsets
+// (8 per vertex plus one), nbrs/sorted/idPort (4 bytes per arc each),
+// nbrIDs/idSorted (8 per arc each), and the dense id→vertex index (4
+// per id over the dense range, which equals n for the identity-ID
+// graphs the generators emit).
+func graphFootprint(g *fnr.Graph) int64 {
+	n, arcs := int64(g.N()), 2*int64(g.M())
+	return 8*n + 8*(n+1) + (4+4+8+8+4)*arcs + 4*n
+}
+
+// runHuge executes the million-vertex preset (see hugeReport):
+// prefix timings, full generation, a v3 file round trip with the
+// transient-memory witness, and one sweep lane batch. assertIO turns
+// the transient witness into a hard gate (the CI smoke job's check
+// that streaming decode memory stays O(chunk)).
+func runHuge(n, d, trials int, seed uint64, workers, shardIndex, shardCount int, assertIO bool) *hugeReport {
+	hrep := &hugeReport{
+		N: n, D: d, Trials: trials, Seed: seed,
+		Workers: workers, Algorithm: "sweep",
+	}
+
+	// Prefix timings: the generation's Hamiltonian-cycle permutation
+	// laid down two ways — n sequential MustAddEdge calls against one
+	// bulk AddCycle — on builders grown to the generator's row
+	// capacity, exactly as PlantedMinDegree grows them.
+	perm := rand.New(rand.NewPCG(seed, 0xbe7c4)).Perm(n)
+	rowCap := min(d+2, n-1)
+	sb := fnr.NewBuilder(n)
+	sb.Grow(rowCap)
+	runtime.GC()
+	start := time.Now()
+	for i, v := range perm {
+		sb.MustAddEdge(fnr.Vertex(v), fnr.Vertex(perm[(i+1)%n]))
+	}
+	hrep.PrefixSerialElapsedMS = max(time.Since(start).Milliseconds(), 1)
+	sb = nil
+	bb := fnr.NewBuilder(n)
+	bb.Grow(rowCap)
+	runtime.GC()
+	start = time.Now()
+	if err := bb.AddCycle(perm); err != nil {
+		log.Fatal(err)
+	}
+	hrep.PrefixBulkElapsedMS = max(time.Since(start).Milliseconds(), 1)
+	hrep.PrefixSpeedup = float64(hrep.PrefixSerialElapsedMS) / float64(hrep.PrefixBulkElapsedMS)
+	bb, perm = nil, nil
+
+	hg, hsa, hsb, genMS := genWorkload(n, d, seed)
+	hrep.GenElapsedMS = genMS
+
+	// v3 round trip through a real file: the sized streaming-read
+	// path, with a TotalAlloc witness that transient decode memory is
+	// O(chunk). The witness is everything the read allocated beyond
+	// the returned graph's own arrays.
+	hio := &hugeIOReport{}
+	hrep.IO = hio
+	f, err := os.CreateTemp("", "fnr-huge-*.fnrb3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(f.Name())
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	start = time.Now()
+	wrote, err := hg.WriteBinaryV3(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	hio.WriteElapsedMS = max(time.Since(start).Milliseconds(), 1)
+	hio.Bytes = wrote
+	if _, err := f.Seek(0, 0); err != nil {
+		log.Fatal(err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	h, err := fnr.ReadGraph(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hio.ReadElapsedMS = max(time.Since(start).Milliseconds(), 1)
+	runtime.ReadMemStats(&after)
+	transient := int64(after.TotalAlloc-before.TotalAlloc) - graphFootprint(h)
+	hio.ReadPeakTransientMB = float64(transient) / (1 << 20)
+	if !h.Equal(hg) {
+		log.Fatal("huge: v3 round trip changed the graph")
+	}
+	h = nil
+	if lim := 2 * int64(fnr.V3MaxChunkLen); assertIO && transient >= lim {
+		log.Fatalf("huge: streaming read allocated %.1f MB beyond the graph (budget %d MB) — decode memory is not O(chunk)",
+			hio.ReadPeakTransientMB, lim>>20)
+	}
+
+	// One sweep lane batch. At d=64 « √n=1024 the whiteboard
+	// algorithm is outside its δ ≥ √n regime, so the ∆-sweep baseline
+	// is the preset's algorithm; MaxRounds guards against a stuck
+	// trial burning the CI timeout.
+	batch := fnr.Batch{
+		Graph:      hg,
+		StartA:     hsa,
+		StartB:     hsb,
+		Algorithm:  "sweep",
+		Delta:      hg.MinDegree(),
+		Trials:     trials,
+		Seed:       seed,
+		Workers:    workers,
+		MaxRounds:  1 << 22,
+		ShardIndex: shardIndex,
+		ShardCount: shardCount,
+	}
+	agg, elapsed := timedRun(batch)
+	hrep.ElapsedMS = elapsed
+	hrep.TrialsPerSec = float64(trials) / (float64(elapsed) / 1000)
+	hrep.LaneWidth = fnr.AutoLaneWidth(hg.N())
+	hrep.Aggregate = agg
+	return hrep
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchengine: ")
@@ -350,17 +533,29 @@ func main() {
 		setupCycles = flag.Int("setup-cycles", 10000, "build+Init+Finish cycles per stepper setup-cost measurement")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
 
+		shard          = flag.String("shard", "", "run batch shard i of k, format i/k (trial seeds stay global; merge reducers across shards)")
 		assertLockstep = flag.Bool("assert-lockstep", false, "fail if the lockstep lane path is slower than the per-trial stepper path on any preset (CI smoke)")
 		mega           = flag.Bool("mega", true, "also run the 10M-trial streaming-aggregation preset")
 		megaTrials     = flag.Int("mega-trials", 10_000_000, "streaming preset trials")
 		megaN          = flag.Int("mega-n", 64, "streaming preset graph size")
 		megaD          = flag.Int("mega-d", 8, "streaming preset planted minimum degree")
+		huge           = flag.Bool("huge", true, "also run the million-vertex graph-core preset")
+		hugeN          = flag.Int("huge-n", 1<<20, "huge preset graph size")
+		hugeD          = flag.Int("huge-d", 64, "huge preset planted minimum degree")
+		hugeTrials     = flag.Int("huge-trials", 8, "huge preset sweep trials")
+		assertHugeIO   = flag.Bool("assert-huge-io", false, "fail if the huge preset's streaming read allocates ≥ 2×V3MaxChunkLen beyond the graph (CI smoke)")
 	)
 	flag.Parse()
 
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	var shardIndex, shardCount int
+	if *shard != "" {
+		if n, _ := fmt.Sscanf(*shard, "%d/%d", &shardIndex, &shardCount); n != 2 || shardIndex < 0 || shardCount < 1 || shardIndex >= shardCount {
+			log.Fatalf("invalid -shard %q: want i/k with 0 ≤ i < k", *shard)
+		}
 	}
 	g, sa, sb, genMS := genWorkload(*n, *d, *seed)
 	// Generate the large workload before the CPU profile starts too:
@@ -394,14 +589,16 @@ func main() {
 	}
 	for _, name := range []string{"whiteboard", "sweep"} {
 		batch := fnr.Batch{
-			Graph:     g,
-			StartA:    sa,
-			StartB:    sb,
-			Algorithm: name,
-			Delta:     g.MinDegree(),
-			Trials:    *trials,
-			Seed:      *seed,
-			Workers:   workers,
+			Graph:      g,
+			StartA:     sa,
+			StartB:     sb,
+			Algorithm:  name,
+			Delta:      g.MinDegree(),
+			Trials:     *trials,
+			Seed:       *seed,
+			Workers:    workers,
+			ShardIndex: shardIndex,
+			ShardCount: shardCount,
 		}
 		// Lockstep lane path (the engine default), configured workers.
 		agg, elapsed := timedRun(batch)
@@ -419,7 +616,7 @@ func main() {
 		batch.ForceProgramPath = true
 		serialAgg, serialElapsed := timedRunBest(batch, 3)
 
-		if *serialAgg != *agg || *stepperAgg != *agg || *lockAgg != *agg {
+		if !serialAgg.Equal(agg) || !stepperAgg.Equal(agg) || !lockAgg.Equal(agg) {
 			log.Fatalf("%s: aggregates differ across paths/workers — engine determinism broken", name)
 		}
 		if *assertLockstep && lockElapsed > stepperElapsed+stepperElapsed/4+2 {
@@ -451,21 +648,23 @@ func main() {
 		}
 		for _, name := range []string{"whiteboard"} {
 			batch := fnr.Batch{
-				Graph:     lg,
-				StartA:    lsa,
-				StartB:    lsb,
-				Algorithm: name,
-				Delta:     lg.MinDegree(),
-				Trials:    *largeTrials,
-				Seed:      *seed,
-				Workers:   workers,
+				Graph:      lg,
+				StartA:     lsa,
+				StartB:     lsb,
+				Algorithm:  name,
+				Delta:      lg.MinDegree(),
+				Trials:     *largeTrials,
+				Seed:       *seed,
+				Workers:    workers,
+				ShardIndex: shardIndex,
+				ShardCount: shardCount,
 			}
 			agg, elapsed := timedRun(batch)
 			batch.Workers = 1
 			lockAgg, lockElapsed := timedRunBest(batch, 3)
 			batch.LaneWidth = -1
 			stepperAgg, stepperElapsed := timedRunBest(batch, 3)
-			if *stepperAgg != *agg || *lockAgg != *agg {
+			if !stepperAgg.Equal(agg) || !lockAgg.Equal(agg) {
 				log.Fatalf("large %s: aggregates differ across paths/workers — engine determinism broken", name)
 			}
 			if *assertLockstep && lockElapsed > stepperElapsed+stepperElapsed/4+2 {
@@ -491,14 +690,16 @@ func main() {
 	if *mega {
 		mg, msa, msb, _ := genWorkload(*megaN, *megaD, *seed)
 		batch := fnr.Batch{
-			Graph:     mg,
-			StartA:    msa,
-			StartB:    msb,
-			Algorithm: "sweep",
-			Delta:     mg.MinDegree(),
-			Trials:    *megaTrials,
-			Seed:      *seed,
-			Workers:   workers,
+			Graph:      mg,
+			StartA:     msa,
+			StartB:     msb,
+			Algorithm:  "sweep",
+			Delta:      mg.MinDegree(),
+			Trials:     *megaTrials,
+			Seed:       *seed,
+			Workers:    workers,
+			ShardIndex: shardIndex,
+			ShardCount: shardCount,
 		}
 		runtime.GC()
 		start := time.Now()
@@ -517,6 +718,10 @@ func main() {
 			HeapAllocMB:  float64(ms.HeapAlloc) / (1 << 20),
 			Aggregate:    agg,
 		}
+	}
+
+	if *huge {
+		rep.Huge = runHuge(*hugeN, *hugeD, *hugeTrials, *seed, workers, shardIndex, shardCount, *assertHugeIO)
 	}
 
 	f, err := os.Create(*out)
@@ -557,6 +762,15 @@ func main() {
 		log.Printf("mega %s: %d trials on n=%d d=%d in %dms (%.0f trials/s), heap after %.1f MB",
 			rep.Mega.Algorithm, rep.Mega.Trials, rep.Mega.N, rep.Mega.D,
 			rep.Mega.ElapsedMS, rep.Mega.TrialsPerSec, rep.Mega.HeapAllocMB)
+	}
+	if rep.Huge != nil {
+		h := rep.Huge
+		log.Printf("huge gen n=%d d=%d: %dms; cycle prefix serial %dms vs bulk %dms (%.1fx)",
+			h.N, h.D, h.GenElapsedMS, h.PrefixSerialElapsedMS, h.PrefixBulkElapsedMS, h.PrefixSpeedup)
+		log.Printf("huge v3: write %dms (%d bytes), streaming read %dms, transient %.2f MB beyond the graph",
+			h.IO.WriteElapsedMS, h.IO.Bytes, h.IO.ReadElapsedMS, h.IO.ReadPeakTransientMB)
+		log.Printf("huge %s: %d trials in %dms (%.0f trials/s)",
+			h.Algorithm, h.Trials, h.ElapsedMS, h.TrialsPerSec)
 	}
 	log.Printf("wrote %s", *out)
 }

@@ -25,6 +25,14 @@ import (
 	"fnr"
 )
 
+// parseShard parses "i/k" into a shard index and count.
+func parseShard(s string) (index, count int, err error) {
+	if n, _ := fmt.Sscanf(s, "%d/%d", &index, &count); n != 2 || index < 0 || count < 1 || index >= count {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want i/k with 0 ≤ i < k", s)
+	}
+	return index, count, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
@@ -36,6 +44,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "parallel trials (0 = GOMAXPROCS; never affects results)")
 		workers  = flag.Int("workers", 0, "alias of -parallel (kept for compatibility)")
 		preset   = flag.String("params", "practical", "constant preset: practical|paper")
+		shard    = flag.String("shard", "", "run engine-batch shard i of k, format i/k (trial seeds stay global; tables then summarize partial samples)")
 		csvDir   = flag.String("csv", "", "directory to write per-experiment CSVs")
 		jsonOut  = flag.Bool("json", false, "emit one JSON document with every table instead of markdown")
 	)
@@ -48,6 +57,12 @@ func main() {
 		*parallel = *workers
 	}
 	cfg := fnr.ExperimentConfig{Quick: *quick, Seeds: *trials, Workers: *parallel}
+	if *shard != "" {
+		var err error
+		if cfg.ShardIndex, cfg.ShardCount, err = parseShard(*shard); err != nil {
+			log.Fatal(err)
+		}
+	}
 	switch *preset {
 	case "practical":
 		cfg.Params = fnr.PracticalParams()

@@ -1,18 +1,24 @@
 // Command graphgen generates, inspects, and serializes the graph
 // families used by the reproduction.
 //
+// The default -format binary picks the narrowest binary version that
+// can carry the graph: v2 normally, the chunked v3 once the arc count
+// exceeds v2's int32 capacity. -format binary3 forces v3. Large
+// planted generations (-n 2¹⁸ and up) report progress on stderr.
+//
 // Usage:
 //
 //	graphgen -type planted -n 1024 -d 181 -o g.fnr   # generate + save (binary v2)
 //	graphgen -type planted -o g.txt -format text      # v1 text (golden files)
 //	graphgen -type twostars -n 514 -stats             # properties only
-//	graphgen -in g.fnr -stats                         # inspect a file (either format)
+//	graphgen -in g.fnr -stats                         # inspect a file (any format)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand/v2"
 	"os"
 
@@ -29,7 +35,7 @@ func main() {
 		p      = flag.Float64("p", 0.1, "edge probability (gnp)")
 		seed   = flag.Uint64("seed", 1, "generator seed")
 		out    = flag.String("o", "", "write the graph to this file")
-		format = flag.String("format", "binary", "output format: binary (v2) or text (v1); reading auto-detects")
+		format = flag.String("format", "binary", "output format: binary (v2, or v3 when the graph exceeds v2 capacity), binary3 (force v3), or text (v1); reading auto-detects")
 		in     = flag.String("in", "", "read a graph from this file instead of generating (either format)")
 		stats  = flag.Bool("stats", false, "print structural properties")
 		idMode = flag.String("ids", "tight", "ID assignment: tight|permuted|sparse")
@@ -64,13 +70,21 @@ func main() {
 		}
 	}
 	if *out != "" {
-		write := (*fnr.Graph).WriteBinary
+		write, label := (*fnr.Graph).WriteBinary, "binary v2"
 		switch *format {
 		case "binary":
+			// v2 is the compact default, but its counts are int32; once
+			// the arc count would overflow them, only the chunked v3
+			// format can carry the graph.
+			if arcs := 2 * int64(g.M()); arcs > math.MaxInt32 {
+				write, label = (*fnr.Graph).WriteBinaryV3, "binary v3"
+			}
+		case "binary3":
+			write, label = (*fnr.Graph).WriteBinaryV3, "binary v3"
 		case "text":
-			write = (*fnr.Graph).WriteTo
+			write, label = (*fnr.Graph).WriteTo, "text"
 		default:
-			log.Fatalf("unknown format %q (want binary or text)", *format)
+			log.Fatalf("unknown format %q (want binary, binary3, or text)", *format)
 		}
 		f, err := os.Create(*out)
 		if err != nil {
@@ -83,7 +97,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s (%s)\n", *out, *format)
+		fmt.Printf("wrote %s (%s)\n", *out, label)
 	}
 }
 
@@ -107,7 +121,20 @@ func generate(kind string, n, d int, p float64, seed uint64, idMode string) (*fn
 	var err error
 	switch kind {
 	case "planted":
-		g, err = fnr.PlantedMinDegree(n, d, rng)
+		// At large n generation runs for minutes; report progress on
+		// stderr, throttled to ~5% steps so the log stays short no
+		// matter the size.
+		var progress func(done, expected int)
+		if n >= 1<<18 {
+			lastPct := -5
+			progress = func(done, expected int) {
+				if pct := done * 100 / expected; pct >= lastPct+5 {
+					lastPct = pct
+					log.Printf("planted n=%d d=%d: %d/%d edges (%d%%)", n, d, done, expected, pct)
+				}
+			}
+		}
+		g, err = fnr.PlantedMinDegreeProgress(n, d, rng, progress)
 	case "complete":
 		g, err = fnr.Complete(n)
 	case "ring":

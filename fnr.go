@@ -110,6 +110,10 @@ type (
 // NoMark is the empty-whiteboard sentinel.
 const NoMark = sim.NoMark
 
+// V3MaxChunkLen is the largest frame payload the v3 graph reader
+// accepts — the bound on a streaming decode's transient buffer.
+const V3MaxChunkLen = graph.V3MaxChunkLen
+
 // The two agents of a run.
 const (
 	AgentA = sim.AgentA
@@ -121,9 +125,12 @@ var (
 	NewBuilder    = graph.NewBuilder
 	Rebuild       = graph.Rebuild
 	FromAdjacency = graph.FromAdjacency
-	// ReadGraph parses either serialization format (v2 binary or v1
-	// text), auto-detected; Graph.WriteTo writes text, Graph.WriteBinary
-	// writes binary.
+	// ReadGraph parses any serialization format (v1 text, v2 binary,
+	// v3 chunked binary), auto-detected. Graph.WriteTo writes text,
+	// Graph.WriteBinary writes v2; Graph.WriteBinaryV3 writes the
+	// streaming chunked format, the only one whose arc count may
+	// exceed 2³¹ and whose decode keeps transient memory bounded by
+	// the chunk size.
 	ReadGraph        = graph.Read
 	Complete         = graph.Complete
 	Ring             = graph.Ring
@@ -135,11 +142,14 @@ var (
 	GNP              = graph.GNP
 	GNPExact         = graph.GNPExact
 	PlantedMinDegree = graph.PlantedMinDegree
-	RandomRegular    = graph.RandomRegular
-	BFSDistances     = graph.BFSDistances
-	Dist             = graph.Dist
-	IsConnected      = graph.IsConnected
-	PairsAtDistance  = graph.PairsAtDistance
+	// PlantedMinDegreeProgress is PlantedMinDegree with a progress
+	// callback (done vs expected edges) for long generations.
+	PlantedMinDegreeProgress = graph.PlantedMinDegreeProgress
+	RandomRegular            = graph.RandomRegular
+	BFSDistances             = graph.BFSDistances
+	Dist                     = graph.Dist
+	IsConnected              = graph.IsConnected
+	PairsAtDistance          = graph.PairsAtDistance
 )
 
 // Parameter presets.
@@ -435,7 +445,26 @@ type (
 	// Aggregate is a batch's deterministic summary (success rate,
 	// round and move distributions).
 	Aggregate = engine.Aggregate
+	// BatchReducer is the bounded-memory outcome accumulator behind
+	// RunBatchStreaming — and the composition point for sharded
+	// sweeps (see Batch.ShardCount and RunBatchReduced).
+	BatchReducer = engine.Reducer
+	// TrialSpan is a half-open global trial-index range [Lo, Hi): a
+	// sharded batch's coverage metadata on reducers and aggregates.
+	TrialSpan = engine.TrialSpan
 )
+
+// MergeBatchReducers combines per-shard (or per-worker) reducers;
+// the merge is order- and partition-insensitive, and shard spans
+// coalesce. Merging every shard of a batch and aggregating yields
+// byte-identical JSON to the unsharded streaming run.
+var MergeBatchReducers = engine.Merge
+
+// RunBatchReduced is RunBatchStreaming stopping one step earlier: it
+// returns the batch's merged reducer instead of the final aggregate,
+// so shards run in separate processes can be combined with
+// MergeBatchReducers before calling Aggregate.
+func RunBatchReduced(b Batch) (*BatchReducer, error) { return engine.RunReduced(b) }
 
 // DefaultLaneWidth is the widest lockstep lane Batch.LaneWidth = 0
 // selects: how many trials each worker keeps resident at once on the

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -67,7 +68,27 @@ type Batch struct {
 	// widths byte-identical). It never affects results, only
 	// wall-clock time and memory.
 	LaneWidth int
+	// ShardIndex and ShardCount split the batch's trial range across
+	// independent processes: shard i of k runs only the global trial
+	// indices [Trials·i/k, Trials·(i+1)/k). Per-trial seeds are still
+	// derived from the global index, so the k shards together execute
+	// exactly the trials the unsharded batch would, and merging their
+	// reducers (Merge) reproduces the unsharded aggregate byte for
+	// byte. ShardCount 0 or 1 means unsharded; a sharded aggregate
+	// carries its coverage in TrialSpans.
+	ShardIndex, ShardCount int
 }
+
+// shardSpan resolves the batch's global trial range [lo, hi).
+func (b Batch) shardSpan() (lo, hi int) {
+	if b.ShardCount <= 1 {
+		return 0, b.Trials
+	}
+	return b.Trials * b.ShardIndex / b.ShardCount, b.Trials * (b.ShardIndex + 1) / b.ShardCount
+}
+
+// sharded reports whether the batch covers only a shard of its trials.
+func (b Batch) sharded() bool { return b.ShardCount > 1 }
 
 // DefaultLaneWidth is the widest automatic lockstep lane: wide enough
 // to amortize per-sweep overhead and stepper builds across resident
@@ -179,6 +200,24 @@ type Aggregate struct {
 	// Moves summarizes total edge traversals over non-erroring
 	// trials (an erroring trial has no meaningful move count).
 	Moves Dist `json:"moves"`
+	// TrialSpans lists the global trial-index ranges the aggregate
+	// covers when the batch ran sharded (several ranges after merging
+	// non-adjacent shard reducers). It is omitted — keeping the JSON
+	// byte-identical to pre-shard output — for unsharded batches and
+	// for complete merges covering all of [0, Trials).
+	TrialSpans []TrialSpan `json:"trial_spans,omitempty"`
+}
+
+// Equal reports whether two aggregates are field-for-field identical
+// (the TrialSpans slice made Aggregate non-comparable with ==).
+func (a *Aggregate) Equal(o *Aggregate) bool {
+	if a == nil || o == nil {
+		return a == o
+	}
+	return a.Algorithm == o.Algorithm && a.Trials == o.Trials && a.Seed == o.Seed &&
+		a.Met == o.Met && a.Failures == o.Failures && a.Errors == o.Errors &&
+		a.SuccessRate == o.SuccessRate && a.Rounds == o.Rounds && a.Moves == o.Moves &&
+		slices.Equal(a.TrialSpans, o.TrialSpans)
 }
 
 // TrialSeed derives trial i's simulation seed from the batch seed.
@@ -287,20 +326,21 @@ func RunOutcomes(b Batch) ([]Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	lo, hi := b.shardSpan()
 	if b.useSteppers(spec) {
 		if width := b.laneWidth(); width > 0 {
-			out := make([]Outcome, b.Trials)
+			out := make([]Outcome, hi-lo)
 			runLanes(b, spec, opts, width,
 				func() struct{} { return struct{}{} },
-				func(_ struct{}, trial int, o Outcome) { out[trial] = o })
+				func(_ struct{}, trial int, o Outcome) { out[trial-lo] = o })
 			return out, nil
 		}
-		return TrialsScratch(b.Workers, b.Trials, sim.NewTrialContext, func(tc *sim.TrialContext, i int) Outcome {
-			return runStepperTrial(b, spec, opts, tc, i)
+		return TrialsScratch(b.Workers, hi-lo, sim.NewTrialContext, func(tc *sim.TrialContext, i int) Outcome {
+			return runStepperTrial(b, spec, opts, tc, lo+i)
 		}), nil
 	}
-	return Trials(b.Workers, b.Trials, func(i int) Outcome {
-		return runTrial(b, spec, opts, i)
+	return Trials(b.Workers, hi-lo, func(i int) Outcome {
+		return runTrial(b, spec, opts, lo+i)
 	}), nil
 }
 
@@ -313,7 +353,8 @@ type laneWorker[S any] struct {
 // runLanes executes the batch's trials on the lockstep lane path: a
 // pool of workers, each owning one sim.TrialLane of the given width
 // and one sink, claiming trial-index chunks and streaming each
-// finished trial's Outcome into the worker's sink via emit. It
+// finished trial's Outcome into the worker's sink via emit. Emitted
+// trial indices are global (shard-offset), matching the seeds. It
 // returns every worker's sink (trial-indexed sinks write into shared
 // trial-indexed storage; reducer sinks get merged by the caller).
 // Lane width, worker count and chunk assignment never affect which
@@ -321,7 +362,8 @@ type laneWorker[S any] struct {
 func runLanes[S any](b Batch, spec algo.Spec, opts algo.BuildOpts, width int, newSink func() S, emit func(sink S, trial int, o Outcome)) []S {
 	cfg := trialConfig(b, spec, 0) // per-trial seeds come from seedOf
 	seedOf := func(t int) uint64 { return TrialSeed(b.Seed, t) }
-	workers := chunkedWorkers(b.Workers, b.Trials, func() *laneWorker[S] {
+	lo, hi := b.shardSpan()
+	workers := chunkedWorkers(b.Workers, hi-lo, func() *laneWorker[S] {
 		return &laneWorker[S]{
 			lane: sim.NewTrialLane(width, func() (sim.Stepper, sim.Stepper, error) {
 				return spec.Steppers(opts)
@@ -329,7 +371,7 @@ func runLanes[S any](b Batch, spec algo.Spec, opts algo.BuildOpts, width int, ne
 			sink: newSink(),
 		}
 	}, func(w *laneWorker[S], from, to int) {
-		w.lane.Run(cfg, seedOf, from, to, func(trial int, res *sim.Result, err error) {
+		w.lane.Run(cfg, seedOf, lo+from, lo+to, func(trial int, res *sim.Result, err error) {
 			emit(w.sink, trial, OutcomeOf(res, err))
 		})
 	})
@@ -356,9 +398,14 @@ func Run(b Batch) (*Aggregate, error) {
 }
 
 // AggregateOutcomes reduces trial-ordered outcomes to the batch
-// summary.
+// summary. For a sharded batch the summary covers the shard's trials
+// only and says so in TrialSpans.
 func AggregateOutcomes(b Batch, outcomes []Outcome) *Aggregate {
 	agg := &Aggregate{Algorithm: b.Algorithm, Trials: len(outcomes), Seed: b.Seed}
+	if b.sharded() {
+		lo, hi := b.shardSpan()
+		agg.TrialSpans = []TrialSpan{{Lo: lo, Hi: hi}}
+	}
 	metRounds := make([]float64, 0, len(outcomes))
 	moves := make([]float64, 0, len(outcomes))
 	for _, o := range outcomes {
@@ -392,6 +439,9 @@ func (b Batch) prepare() (algo.Spec, algo.BuildOpts, error) {
 	}
 	if b.Trials <= 0 {
 		return spec, opts, fmt.Errorf("engine: batch needs Trials > 0, got %d", b.Trials)
+	}
+	if b.ShardCount < 0 || b.ShardIndex < 0 || b.ShardIndex >= max(b.ShardCount, 1) {
+		return spec, opts, fmt.Errorf("engine: shard %d/%d invalid (need 0 ≤ index < count)", b.ShardIndex, b.ShardCount)
 	}
 	n := graph.Vertex(b.Graph.N())
 	if b.StartA < 0 || b.StartA >= n || b.StartB < 0 || b.StartB >= n {

@@ -30,11 +30,19 @@ import (
 // result. Values fit float64 exactly (round/move counts are bounded
 // by 4n²+1000 « 2⁵³).
 
+// TrialSpan is a half-open range [Lo, Hi) of global trial indices — a
+// sharded batch's coverage metadata (see Batch.ShardCount).
+type TrialSpan struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
 // Reducer accumulates one worker's stream of trial outcomes. The
 // zero value is empty and ready to use.
 type Reducer struct {
 	trials, met, errors int
 	rounds, moves       distCounter
+	spans               []TrialSpan
 }
 
 // NewReducer returns an empty reducer (the sink builder the lane
@@ -57,9 +65,42 @@ func (r *Reducer) Add(o Outcome) {
 	r.moves.add(o.Moves, 1)
 }
 
+// AddSpan records that this reducer covers the global trial range
+// [lo, hi) of a sharded batch — metadata Merge coalesces and
+// Aggregate reports through TrialSpans. Reducers of unsharded runs
+// carry no spans.
+func (r *Reducer) AddSpan(lo, hi int) {
+	if lo < hi {
+		r.spans = coalesceSpans(append(r.spans, TrialSpan{Lo: lo, Hi: hi}))
+	}
+}
+
+// Spans returns the coalesced global trial ranges this reducer
+// covers (nil for an unsharded reducer).
+func (r *Reducer) Spans() []TrialSpan { return slices.Clone(r.spans) }
+
+// coalesceSpans sorts spans by Lo and fuses adjacent or overlapping
+// ranges, so k shards' [i·T/k, (i+1)·T/k) spans merge to [0, T).
+func coalesceSpans(spans []TrialSpan) []TrialSpan {
+	if len(spans) < 2 {
+		return spans
+	}
+	slices.SortFunc(spans, func(a, b TrialSpan) int { return a.Lo - b.Lo })
+	out := spans[:1]
+	for _, s := range spans[1:] {
+		if last := &out[len(out)-1]; s.Lo <= last.Hi {
+			last.Hi = max(last.Hi, s.Hi)
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Merge combines per-worker reducers into one. It is insensitive to
 // the order and the partition of the parts: any split of the same
-// outcome multiset merges to the same state.
+// outcome multiset merges to the same state, and shard-range
+// metadata coalesces (adjacent shards fuse into one span).
 func Merge(parts ...*Reducer) *Reducer {
 	m := NewReducer()
 	for _, p := range parts {
@@ -71,7 +112,9 @@ func Merge(parts ...*Reducer) *Reducer {
 		m.errors += p.errors
 		m.rounds.merge(&p.rounds)
 		m.moves.merge(&p.moves)
+		m.spans = append(m.spans, p.spans...)
 	}
+	m.spans = coalesceSpans(m.spans)
 	return m
 }
 
@@ -92,6 +135,12 @@ func (r *Reducer) Aggregate(b Batch) *Aggregate {
 	}
 	agg.Rounds = r.rounds.dist()
 	agg.Moves = r.moves.dist()
+	// A complete merge — spans covering all of [0, Trials) — drops the
+	// metadata, so k shards merged back together emit byte-identical
+	// JSON to the unsharded run.
+	if !(len(r.spans) == 1 && r.spans[0] == (TrialSpan{Lo: 0, Hi: b.Trials})) {
+		agg.TrialSpans = slices.Clone(r.spans)
+	}
 	return agg
 }
 
@@ -102,10 +151,27 @@ func (r *Reducer) Aggregate(b Batch) *Aggregate {
 // at any worker count, lane width and path choice; see the file
 // comment for the one documented Mean-rounding divergence from Run.
 func RunStreaming(b Batch) (*Aggregate, error) {
+	r, err := RunReduced(b)
+	if err != nil {
+		return nil, err
+	}
+	return r.Aggregate(b), nil
+}
+
+// RunReduced is RunStreaming stopping one step earlier: it returns
+// the batch's merged reducer instead of the final aggregate. This is
+// the composition point for sharded sweeps — run each shard (same
+// Batch, different ShardIndex) in its own process, Merge the
+// reducers, and Aggregate the merge; the result is byte-identical to
+// the unsharded streaming run, mean included (the multiset mean is
+// partition-independent). A sharded reducer carries its coverage in
+// Spans.
+func RunReduced(b Batch) (*Reducer, error) {
 	spec, opts, err := b.prepare()
 	if err != nil {
 		return nil, err
 	}
+	lo, hi := b.shardSpan()
 	var parts []*Reducer
 	switch {
 	case b.useSteppers(spec) && b.laneWidth() > 0:
@@ -116,24 +182,28 @@ func RunStreaming(b Batch) (*Aggregate, error) {
 			tc *sim.TrialContext
 			r  *Reducer
 		}
-		for _, s := range chunkedWorkers(b.Workers, b.Trials, func() *scratch {
+		for _, s := range chunkedWorkers(b.Workers, hi-lo, func() *scratch {
 			return &scratch{tc: sim.NewTrialContext(), r: NewReducer()}
 		}, func(s *scratch, from, to int) {
 			for i := from; i < to; i++ {
-				s.r.Add(runStepperTrial(b, spec, opts, s.tc, i))
+				s.r.Add(runStepperTrial(b, spec, opts, s.tc, lo+i))
 			}
 		}) {
 			parts = append(parts, s.r)
 		}
 	default:
-		parts = chunkedWorkers(b.Workers, b.Trials, NewReducer,
+		parts = chunkedWorkers(b.Workers, hi-lo, NewReducer,
 			func(r *Reducer, from, to int) {
 				for i := from; i < to; i++ {
-					r.Add(runTrial(b, spec, opts, i))
+					r.Add(runTrial(b, spec, opts, lo+i))
 				}
 			})
 	}
-	return Merge(parts...).Aggregate(b), nil
+	m := Merge(parts...)
+	if b.sharded() {
+		m.AddSpan(b.shardSpan())
+	}
+	return m, nil
 }
 
 // distCounter is a sorted value → count table: the bounded

@@ -188,6 +188,80 @@ func (b *Builder) MustAddEdge(u, v Vertex) {
 	}
 }
 
+// AddCycle adds the Hamiltonian cycle order[0] → order[1] → … →
+// order[n-1] → order[0] in one bulk pass, leaving the builder in a
+// state byte-equivalent to n sequential MustAddEdge(order[i],
+// order[(i+1)%n]) calls: the same per-vertex port order and the same
+// membership structures, so anything built on top (RNG-pinned
+// generators in particular) cannot tell the difference. Because a
+// cycle over a permutation touches each vertex's rows exactly once,
+// the fill skips the per-edge duplicate checks entirely and writes
+// vertex rows independently, fanned out over parallelBlocks — this is
+// PlantedMinDegree's generation prefix, and at n=2^20 it runs several
+// times faster than the sequential edge loop even on one core.
+//
+// The builder must hold no edges yet, and order must be a permutation
+// of [0, n) with n ≥ 3 (so the cycle's edges are distinct and
+// loop-free by construction).
+func (b *Builder) AddCycle(order []int) error {
+	n := len(b.ids)
+	if b.edges != 0 {
+		return fmt.Errorf("graph: AddCycle needs an empty builder, have %d edges", b.edges)
+	}
+	if n < 3 || len(order) != n {
+		return fmt.Errorf("graph: cycle over %d vertices on a %d-vertex builder (need n ≥ 3)", len(order), n)
+	}
+	// pos is the inverse permutation: pos[v] = v's position in order.
+	// It both validates the permutation and lets the fill iterate
+	// destination vertices in index order — every b.adj and b.seen row
+	// is written in one sequential sweep (the cache-friendly axis at
+	// n in the millions), with only the read-only order lookups
+	// hopping around.
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range order {
+		if v < 0 || v >= n || pos[v] >= 0 {
+			return fmt.Errorf("graph: cycle order is not a permutation of [0,%d)", n)
+		}
+		pos[v] = int32(i)
+	}
+	// One shared backing array seeds every vertex's membership tail —
+	// each holds exactly the cycle's two incident edges — instead of a
+	// per-vertex 2-element allocation (2M tiny allocations at n=2²⁰,
+	// the dominant cost of the fill). Three-index slicing caps every
+	// window at 2, so a later add reallocates instead of clobbering a
+	// neighbor's window, exactly like an organically grown tail.
+	tails := make([]Vertex, 2*n)
+	parallelBlocks(n, func(lo, hi Vertex) {
+		for v := lo; v < hi; v++ {
+			i := int(pos[v])
+			prev, next := i-1, i+1
+			if i == 0 {
+				prev = n - 1
+			}
+			if i == n-1 {
+				next = 0
+			}
+			p, q := Vertex(order[prev]), Vertex(order[next])
+			if i == 0 {
+				// The sequential loop reaches order[0] first as the
+				// source of its successor edge and only later as the
+				// target of the closing edge, so its row reads
+				// [next, prev] — every other vertex reads [prev, next].
+				p, q = q, p
+			}
+			b.adj[v] = append(b.adj[v], p, q)
+			t := tails[2*int(v) : 2*int(v)+2 : 2*int(v)+2]
+			t[0], t[1] = p, q
+			b.seen[v].tail = t
+		}
+	})
+	b.edges += n
+	return nil
+}
+
 // Reset removes every edge while keeping the vertex count, IDs, n',
 // and — crucially for retrying generators — the per-vertex slice
 // capacity already grown, so a restart adds no fresh allocations.

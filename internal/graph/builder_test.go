@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// cycleSequential is the reference implementation AddCycle must match
+// byte-for-byte: n sequential MustAddEdge calls.
+func cycleSequential(b *Builder, order []int) {
+	n := len(order)
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(Vertex(order[i]), Vertex(order[(i+1)%n]))
+	}
+}
+
+// TestAddCycleMatchesSequential pins the bulk cycle fill against the
+// sequential edge loop: identical graphs (port order included) and
+// identical membership state — edges added afterwards must land, and
+// duplicates of cycle edges must still be caught.
+func TestAddCycleMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	orders := [][]int{
+		{0, 1, 2},
+		{2, 0, 1, 3},
+		rng.Perm(97),
+		rng.Perm(1024),
+		rng.Perm(5000), // > one parallelBlocks block
+	}
+	for _, order := range orders {
+		n := len(order)
+		bulk, seq := NewBuilder(n), NewBuilder(n)
+		if err := bulk.AddCycle(order); err != nil {
+			t.Fatalf("AddCycle(n=%d): %v", n, err)
+		}
+		cycleSequential(seq, order)
+		if bulk.M() != seq.M() {
+			t.Fatalf("n=%d: bulk %d edges, sequential %d", n, bulk.M(), seq.M())
+		}
+		// The membership state must behave identically: cycle edges are
+		// duplicates, and a fresh chord lands in the same port slots.
+		if err := bulk.AddEdge(Vertex(order[0]), Vertex(order[1])); err == nil {
+			t.Fatalf("n=%d: AddCycle did not register edge %d-%d", n, order[0], order[1])
+		}
+		if n > 3 {
+			u, w := Vertex(order[0]), Vertex(order[2])
+			if err := bulk.AddEdge(u, w); err != nil {
+				t.Fatalf("n=%d: chord rejected after AddCycle: %v", n, err)
+			}
+			seq.MustAddEdge(u, w)
+		}
+		g, err := bulk.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := seq.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(h) || !h.Equal(g) {
+			t.Fatalf("n=%d: bulk and sequential cycles differ", n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestAddCycleRejectsBadInput covers the argument contract.
+func TestAddCycleRejectsBadInput(t *testing.T) {
+	if err := NewBuilder(2).AddCycle([]int{0, 1}); err == nil {
+		t.Error("accepted n=2")
+	}
+	if err := NewBuilder(4).AddCycle([]int{0, 1, 2}); err == nil {
+		t.Error("accepted a short order")
+	}
+	if err := NewBuilder(4).AddCycle([]int{0, 1, 2, 2}); err == nil {
+		t.Error("accepted a non-permutation")
+	}
+	if err := NewBuilder(4).AddCycle([]int{0, 1, 2, 4}); err == nil {
+		t.Error("accepted an out-of-range entry")
+	}
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	if err := b.AddCycle([]int{0, 1, 2, 3}); err == nil {
+		t.Error("accepted a non-empty builder")
+	}
+	// After Reset the builder is empty again and the cycle must land.
+	b.Reset()
+	if err := b.AddCycle([]int{0, 1, 2, 3}); err != nil {
+		t.Errorf("rejected a reset builder: %v", err)
+	}
+}
+
+// TestPlantedMinDegreeProgress pins the observer variant: identical
+// topology to the plain call, and a monotone edge count ending at M.
+func TestPlantedMinDegreeProgress(t *testing.T) {
+	g, err := PlantedMinDegree(500, 19, rand.New(rand.NewPCG(7, 0xbe7c4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls, last := 0, -1
+	h, err := PlantedMinDegreeProgress(500, 19, rand.New(rand.NewPCG(7, 0xbe7c4)), func(done, expected int) {
+		calls++
+		if done < last {
+			t.Fatalf("progress went backwards: %d after %d", done, last)
+		}
+		last = done
+		if expected != max(500, 500*19/2) {
+			t.Fatalf("expected estimate %d", expected)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("progress observer changed the topology")
+	}
+	if calls < 2 || last != h.M() {
+		t.Fatalf("progress saw %d calls ending at %d (M=%d)", calls, last, h.M())
+	}
+}

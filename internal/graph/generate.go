@@ -280,11 +280,23 @@ const plantedFallbackDraws = 64
 // δ is the controlled parameter and ∆/δ stays bounded.
 //
 // The RNG draw sequence is byte-identical to the seed implementation
-// on non-degenerate inputs: the deficit list is maintained as a
-// Fenwick order-statistics structure whose selection semantics match
-// the original per-iteration compaction exactly, at O(log n) instead
-// of O(n) per added edge.
+// on non-degenerate inputs: the Hamiltonian prefix consumes exactly
+// the rng.Perm(n) draws (its edges are bulk-filled by AddCycle, which
+// draws nothing), and the deficit list is maintained as a Fenwick
+// order-statistics structure whose selection semantics match the
+// original per-iteration compaction exactly, at O(log n) instead of
+// O(n) per added edge.
 func PlantedMinDegree(n, d int, rng *rand.Rand) (*Graph, error) {
+	return PlantedMinDegreeProgress(n, d, rng, nil)
+}
+
+// PlantedMinDegreeProgress is PlantedMinDegree with a generation
+// observer: progress (when non-nil) is called periodically with the
+// edges added so far and the expected total ≈ n·d/2 (done may end
+// slightly past the estimate — deficit pairing can overshoot by a few
+// edges). The callback only observes; the RNG draw sequence and the
+// resulting topology are identical to PlantedMinDegree's.
+func PlantedMinDegreeProgress(n, d int, rng *rand.Rand, progress func(done, expected int)) (*Graph, error) {
 	if n < 3 {
 		return nil, fmt.Errorf("graph: planted graph needs n ≥ 3, got %d", n)
 	}
@@ -294,8 +306,14 @@ func PlantedMinDegree(n, d int, rng *rand.Rand) (*Graph, error) {
 	b := NewBuilder(n)
 	b.Grow(min(d+2, n-1))
 	perm := rng.Perm(n)
-	for i := 0; i < n; i++ {
-		b.MustAddEdge(Vertex(perm[i]), Vertex(perm[(i+1)%n]))
+	if err := b.AddCycle(perm); err != nil {
+		return nil, err
+	}
+	expected := max(n, n*d/2)
+	every := max(1, expected/64)
+	nextReport := b.M() + every
+	if progress != nil {
+		progress(b.M(), expected)
 	}
 	// Repeatedly pick a vertex with deficit and connect it to a random
 	// non-neighbor, preferring other deficit vertices to keep the
@@ -344,6 +362,13 @@ func PlantedMinDegree(n, d int, rng *rand.Rand) (*Graph, error) {
 		if b.Degree(w) >= d {
 			deficit.remove(w)
 		}
+		if progress != nil && b.M() >= nextReport {
+			progress(b.M(), expected)
+			nextReport = b.M() + every
+		}
+	}
+	if progress != nil {
+		progress(b.M(), expected)
 	}
 	return b.Build()
 }

@@ -2,8 +2,8 @@
 // rendezvous simulator: undirected simple graphs with unique vertex
 // identifiers, explicit local port numberings, generators for the graph
 // families used throughout the paper "Fast Neighborhood Rendezvous"
-// (Eguchi, Kitamura, Izumi; ICDCS 2020), and serialization in two
-// formats (v1 text and v2 binary; see io.go).
+// (Eguchi, Kitamura, Izumi; ICDCS 2020), and serialization in three
+// formats (v1 text, v2 binary, v3 chunked binary; see io.go).
 //
 // Vertices carry two independent namespaces:
 //
@@ -68,7 +68,10 @@ type Graph struct {
 	idVerts []int32
 	// CSR adjacency: vertex v's arcs live at positions
 	// [offsets[v], offsets[v+1]) of every flat per-arc array below.
-	offsets []int32
+	// Offsets are int64 so the arc space is bounded by memory, not by
+	// the 2^31 cap of the int32 seed layout; Vertex itself stays int32
+	// (n ≤ maxReasonableN), so the per-arc arrays keep their width.
+	offsets []int64
 	nbrs    []Vertex // port order: nbrs[offsets[v]+p] = neighbor of v behind port p
 	sorted  []Vertex // per-vertex ascending, for HasEdge binary search
 	nbrIDs  []int64  // port order: nbrIDs[offsets[v]+p] = ID(nbrs[offsets[v]+p])
@@ -221,8 +224,7 @@ func (g *Graph) PortOfID(v Vertex, id int64) int {
 // deserialized graph costs a fraction of a core-second instead of
 // several.
 func (g *Graph) Validate() error {
-	n := g.N()
-	if err := validateIDs(g.ids, g.nPrime); err != nil {
+	if err := g.validateIDsIndexed(); err != nil {
 		return err
 	}
 	if len(g.nbrs)%2 != 0 {
@@ -232,17 +234,34 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: edge count %d does not match recorded %d", len(g.nbrs)/2, g.edges)
 	}
 	// Symmetry by one linear cursor co-sweep instead of a binary
-	// search per arc. Both graph constructions guarantee structurally
-	// that each sorted run holds the same multiset as its Adj row
-	// (buildDerived sorts the row's copy; the binary reader scatters
-	// the run through a checked port permutation), so sweeping sources
-	// in ascending order must land every arc (v, w) exactly on the
-	// cursor of w's sorted run. A completed sweep maps each arc to a
-	// distinct matching run entry — an injection of the arc multiset
-	// into its own reversal, hence a bijection: the graph is
-	// symmetric.
-	cur := make([]int32, n)
-	copy(cur, g.offsets[:n])
+	// search per arc (see symmetrySweep). The cursor array is the
+	// validation's only allocation; int32 cursors suffice whenever the
+	// arc indices fit, which keeps the transient footprint of
+	// validating a streamed million-vertex graph at 4 bytes per vertex
+	// (the read path's O(chunk) memory bound counts this).
+	if int64(len(g.nbrs)) <= math.MaxInt32 {
+		return symmetrySweep[int32](g)
+	}
+	return symmetrySweep[int64](g)
+}
+
+// symmetrySweep proves the graph symmetric with one linear cursor
+// co-sweep. Both graph constructions guarantee structurally that each
+// sorted run holds the same multiset as its Adj row (buildDerived
+// sorts the row's copy; the binary reader scatters the run through a
+// checked port permutation), so sweeping sources in ascending order
+// must land every arc (v, w) exactly on the cursor of w's sorted run.
+// A completed sweep maps each arc to a distinct matching run entry —
+// an injection of the arc multiset into its own reversal, hence a
+// bijection: the graph is symmetric. Every arc advances exactly one
+// cursor inside its run's bounds and the totals agree, so all cursors
+// end exactly at their degrees — no final pass needed.
+func symmetrySweep[C int32 | int64](g *Graph) error {
+	n := g.N()
+	cur := make([]C, n)
+	for v := range cur {
+		cur[v] = C(g.offsets[v])
+	}
 	for v := Vertex(0); int(v) < n; v++ {
 		s := g.sortedAdj(v)
 		for i, w := range s {
@@ -257,16 +276,52 @@ func (g *Graph) Validate() error {
 			}
 		}
 		for _, w := range g.Adj(v) {
-			c := cur[w]
+			c := int64(cur[w])
 			if c >= g.offsets[w+1] || g.sorted[c] != v {
 				return fmt.Errorf("graph: edge %d-%d is not symmetric", v, w)
 			}
-			cur[w] = c + 1
+			cur[w] = C(c + 1)
 		}
 	}
-	// Every arc advanced exactly one cursor inside its run's bounds
-	// and the totals agree, so all cursors ended exactly at their
-	// degrees — no final pass needed.
+	return nil
+}
+
+// validateIDsIndexed checks that the graph's IDs are distinct and lie
+// in [0, n') by reading the ID index buildIDIndex already constructed
+// — the dense inverse detects a duplicate as a vertex the
+// last-one-wins fill overwrote, the sorted pair index as adjacent
+// equal keys — so no per-validation map is built (a 1M-vertex map
+// cost more transient memory than the streaming decoder it ran
+// under). Falls back to the map for index-less graphs (none today).
+func (g *Graph) validateIDsIndexed() error {
+	if int64(len(g.ids)) > g.nPrime {
+		return fmt.Errorf("graph: n=%d exceeds ID space n'=%d", len(g.ids), g.nPrime)
+	}
+	switch {
+	case g.idToV != nil:
+		for v, id := range g.ids {
+			if id < 0 || id >= g.nPrime {
+				return fmt.Errorf("graph: vertex %d has ID %d outside [0, %d)", v, id, g.nPrime)
+			}
+			if w := Vertex(g.idToV[id]); w != Vertex(v) {
+				return fmt.Errorf("graph: vertices %d and %d share ID %d", min(w, Vertex(v)), max(w, Vertex(v)), id)
+			}
+		}
+	case g.idKeys != nil:
+		for v, id := range g.ids {
+			if id < 0 || id >= g.nPrime {
+				return fmt.Errorf("graph: vertex %d has ID %d outside [0, %d)", v, id, g.nPrime)
+			}
+		}
+		for i := 1; i < len(g.idKeys); i++ {
+			if g.idKeys[i] == g.idKeys[i-1] {
+				a, b := Vertex(g.idVerts[i-1]), Vertex(g.idVerts[i])
+				return fmt.Errorf("graph: vertices %d and %d share ID %d", min(a, b), max(a, b), g.idKeys[i])
+			}
+		}
+	default:
+		return validateIDs(g.ids, g.nPrime)
+	}
 	return nil
 }
 
@@ -290,26 +345,22 @@ func validateIDs(ids []int64, nPrime int64) error {
 
 // setRows fills the CSR offsets and port-ordered neighbor array from
 // per-vertex rows. Rows are copied; out-of-range entries are preserved
-// verbatim (Validate reports them). It fails loudly if the arc count
-// overflows the int32 offset space rather than truncating silently.
+// verbatim (Validate reports them). Offsets are int64, so the arc
+// count is bounded only by memory — the seed-era 2^31 cap now lives
+// solely in the v1/v2 serialization formats (see io.go).
 func (g *Graph) setRows(rows [][]Vertex) error {
 	n := len(rows)
-	// Count in int64: the whole point of the check is that the sum may
-	// not fit the offset space, so it must not silently wrap first.
 	var arcs int64
 	for _, row := range rows {
 		arcs += int64(len(row))
 	}
-	if arcs > math.MaxInt32 {
-		return fmt.Errorf("graph: arc count %d exceeds CSR capacity (int32 offsets, max %d arcs)", arcs, math.MaxInt32)
-	}
-	g.offsets = make([]int32, n+1)
+	g.offsets = make([]int64, n+1)
 	g.nbrs = make([]Vertex, 0, arcs)
 	for v, row := range rows {
-		g.offsets[v] = int32(len(g.nbrs))
+		g.offsets[v] = int64(len(g.nbrs))
 		g.nbrs = append(g.nbrs, row...)
 	}
-	g.offsets[n] = int32(len(g.nbrs))
+	g.offsets[n] = int64(len(g.nbrs))
 	return nil
 }
 
@@ -456,7 +507,7 @@ func (g *Graph) idPortKeys(identity bool) (keys []uint64, portBits int, portMask
 // coSortIDPort builds the ID->port index run [o, e) by co-sorting the
 // already-filled nbrIDs run with its ports — as packed uint64 keys
 // when keys is non-nil, through the interface sort otherwise.
-func (g *Graph) coSortIDPort(o, e int32, keys []uint64, portBits int, portMask uint64) {
+func (g *Graph) coSortIDPort(o, e int64, keys []uint64, portBits int, portMask uint64) {
 	idRun := g.nbrIDs[o:e]
 	if keys != nil {
 		ks := keys[o:e]
@@ -532,7 +583,7 @@ func FromAdjacency(ids []int64, adj [][]Vertex, nPrime int64) (*Graph, error) {
 // path, which skips the per-row copies of FromAdjacency. offsets must
 // have len(ids)+1 monotone entries with offsets[len(ids)] ==
 // len(nbrs).
-func fromCSR(ids []int64, offsets []int32, nbrs []Vertex, nPrime int64) (*Graph, error) {
+func fromCSR(ids []int64, offsets []int64, nbrs []Vertex, nPrime int64) (*Graph, error) {
 	g := &Graph{ids: ids, offsets: offsets, nbrs: nbrs, nPrime: nPrime}
 	g.buildDerived()
 	if err := g.Validate(); err != nil {
@@ -551,7 +602,7 @@ func fromCSR(ids []int64, offsets []int32, nbrs []Vertex, nPrime int64) (*Graph,
 // slices (ports becomes the idPort index under identity naming). The
 // caller must have checked that every run is strictly ascending with
 // entries in [0, len(ids)).
-func fromCSRSorted(ids []int64, offsets []int32, sorted []Vertex, ports []int32, nPrime int64) (*Graph, error) {
+func fromCSRSorted(ids []int64, offsets []int64, sorted []Vertex, ports []int32, nPrime int64) (*Graph, error) {
 	n := len(ids)
 	nbrs := make([]Vertex, len(sorted))
 	for i := range nbrs {
@@ -561,7 +612,7 @@ func fromCSRSorted(ids []int64, offsets []int32, sorted []Vertex, ports []int32,
 		o, e := offsets[v], offsets[v+1]
 		deg := e - o
 		for i := o; i < e; i++ {
-			p := ports[i]
+			p := int64(ports[i])
 			if p < 0 || p >= deg {
 				return nil, fmt.Errorf("graph: vertex %d has port %d outside [0,%d)", v, p, deg)
 			}

@@ -6,15 +6,17 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"math"
 	"slices"
 	"strconv"
 	"strings"
 )
 
-// Two serialization formats share one reader:
+// Three serialization formats share one reader:
 //
 // The v1 text format preserves IDs, the ID-space bound, and the exact
 // port order of every adjacency list — human-inspectable, stable since
@@ -46,14 +48,19 @@ import (
 //	        the i-th ascending neighbor
 //	trailer crc32 (Castagnoli, little-endian) of magic through arcs
 //
+// The v3 chunked binary format (see its own section below) carries the
+// same logical payload as v2 with 64-bit arc counts, framed so the
+// decoder streams with O(chunk) transient memory — the only format for
+// graphs past 2^31 arcs.
+//
 // Read auto-detects the format by the leading bytes; WriteTo emits v1
-// text, WriteBinary emits v2.
+// text, WriteBinary emits v2, WriteBinaryV3 emits v3.
 
 const formatHeader = "fnr-graph v1"
 
 // binMagic opens the v2 binary format: seven tag bytes no valid v1
-// text stream can start with, then the format version. A future v3
-// bumps the final byte.
+// text stream can start with, then the format version (v3 bumps the
+// final byte; see binMagicV3).
 var binMagic = [8]byte{'f', 'n', 'r', 'g', 'b', 'i', 'n', 2}
 
 // crcTable is the Castagnoli polynomial table shared by the v2 writer
@@ -77,6 +84,9 @@ func (c *countWriter) Write(p []byte) (int, error) {
 // appended with strconv into a buffered writer — no per-field fmt
 // call — so serializing multi-million-arc graphs stays cheap.
 func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	if len(g.nbrs) > math.MaxInt32 {
+		return 0, fmt.Errorf("graph: arc count %d exceeds v1 text capacity (max %d arcs; use WriteBinaryV3)", len(g.nbrs), math.MaxInt32)
+	}
 	cw := &countWriter{w: w}
 	bw := bufio.NewWriterSize(cw, 1<<16)
 	scratch := make([]byte, 0, 24)
@@ -126,6 +136,9 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 // is several times smaller than the text format and an order of
 // magnitude faster to read back.
 func (g *Graph) WriteBinary(w io.Writer) (int64, error) {
+	if len(g.nbrs) > math.MaxInt32 {
+		return 0, fmt.Errorf("graph: arc count %d exceeds v2 format capacity (max %d arcs; use WriteBinaryV3)", len(g.nbrs), math.MaxInt32)
+	}
 	cw := &countWriter{w: w}
 	crc := crc32.New(crcTable)
 	bw := bufio.NewWriterSize(io.MultiWriter(cw, crc), 1<<16)
@@ -146,6 +159,29 @@ func (g *Graph) WriteBinary(w io.Writer) (int64, error) {
 	if _, err := bw.Write(binMagic[:]); err != nil {
 		return cw.n, err
 	}
+	g.emitBinarySections(putU, putI)
+	if werr != nil {
+		return cw.n, werr
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	// The trailer checksums everything before it, so it bypasses the
+	// MultiWriter and goes straight to the counted output.
+	var tb [4]byte
+	binary.LittleEndian.PutUint32(tb[:], crc.Sum32())
+	if _, err := cw.Write(tb[:]); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// emitBinarySections writes the logical payload shared by the v2 and
+// v3 binary formats through the given varint sinks: the header (n, n',
+// arcs), the delta-coded ids, the degrees, then per vertex the
+// ascending-neighbor gaps and the sorted→port permutation. The sinks
+// own error handling (both writers use sticky-error closures).
+func (g *Graph) emitBinarySections(putU func(uint64), putI func(int64)) {
 	putU(uint64(g.N()))
 	putU(uint64(g.nPrime))
 	putU(uint64(len(g.nbrs)))
@@ -187,36 +223,481 @@ func (g *Graph) WriteBinary(w io.Writer) (int64, error) {
 			putU(uint64(p))
 		}
 	}
-	if werr != nil {
-		return cw.n, werr
+}
+
+// The v3 chunked binary format lifts the two v2 scale walls — the
+// 2^31 arc cap (64-bit arc counts) and the io.ReadAll decode (whose
+// transient memory is the whole file) — while carrying the exact same
+// logical payload sections as v2. Everything after the magic is a
+// sequence of self-checking frames, so the decoder's transient memory
+// is O(chunk), not O(file):
+//
+//	magic   8 bytes: "fnrgbin" + version byte 0x03
+//	frame   uvarint plen (1 ≤ plen ≤ 4 MiB), plen payload bytes,
+//	        crc32c (Castagnoli, little-endian) of those payload bytes
+//	...     (frames repeat; their concatenated payloads form the v2
+//	        logical sections: header, ids, degrees, gaps+ports)
+//	end     uvarint 0, then crc32c of every wire byte before it
+//	        (magic, frame lengths, payloads, frame CRCs), so frame
+//	        tampering, reordering, and truncation all surface
+//
+// The writer only flushes frames at varint boundaries, so a varint
+// never straddles two frames; the decoder treats a straddled varint in
+// crafted input as a hard error. Each frame's CRC is verified before
+// any of its bytes are decoded, and the end-frame CRC is accumulated
+// incrementally — nothing ever re-reads or retains more than one
+// frame.
+
+// binMagicV3 opens the v3 chunked binary format.
+var binMagicV3 = [8]byte{'f', 'n', 'r', 'g', 'b', 'i', 'n', 3}
+
+// v3ChunkLen is the writer's target frame payload size.
+const v3ChunkLen = 1 << 20
+
+// v3MaxChunkLen is the largest frame payload the decoder accepts — the
+// bound on its transient buffer, and the "chunk budget" of the CI
+// transient-memory gate (decode peak must stay under 2× this).
+const v3MaxChunkLen = 1 << 22
+
+// V3MaxChunkLen is the exported v3 frame-payload cap: the bound on a
+// streaming decode's transient buffer. Tools gating decode memory
+// (benchengine's huge preset) measure against multiples of it.
+const V3MaxChunkLen = v3MaxChunkLen
+
+// v3MaxArcs bounds the arc count a v3 header may declare: with n ≤
+// maxReasonableN = 2^28 a simple graph has fewer than 2^56 arcs, so
+// anything wider is corrupt, not big.
+const v3MaxArcs = 1 << 56
+
+// chunkedWriter frames varints into the v3 wire format: whole varints
+// accumulate in buf, and whenever buf reaches the chunk target it is
+// flushed as one length-prefixed, CRC-trailed frame — so frame
+// boundaries always fall between varints.
+type chunkedWriter struct {
+	w     io.Writer
+	crc   hash.Hash32 // whole-stream digest of every wire byte
+	buf   []byte      // pending payload, whole varints only
+	chunk int
+	n     int64
+	err   error
+}
+
+// write sends raw wire bytes: counted and folded into the stream
+// digest.
+func (cw *chunkedWriter) write(p []byte) {
+	if cw.err != nil {
+		return
 	}
-	if err := bw.Flush(); err != nil {
-		return cw.n, err
+	cw.crc.Write(p)
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func (cw *chunkedWriter) putU(x uint64) {
+	var vbuf [binary.MaxVarintLen64]byte
+	cw.buf = append(cw.buf, vbuf[:binary.PutUvarint(vbuf[:], x)]...)
+	if len(cw.buf) >= cw.chunk {
+		cw.flushFrame()
 	}
-	// The trailer checksums everything before it, so it bypasses the
-	// MultiWriter and goes straight to the counted output.
+}
+
+func (cw *chunkedWriter) putI(x int64) {
+	var vbuf [binary.MaxVarintLen64]byte
+	cw.buf = append(cw.buf, vbuf[:binary.PutVarint(vbuf[:], x)]...)
+	if len(cw.buf) >= cw.chunk {
+		cw.flushFrame()
+	}
+}
+
+func (cw *chunkedWriter) flushFrame() {
+	if cw.err != nil || len(cw.buf) == 0 {
+		return
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	cw.write(hdr[:binary.PutUvarint(hdr[:], uint64(len(cw.buf)))])
+	cw.write(cw.buf)
+	var fcrc [4]byte
+	binary.LittleEndian.PutUint32(fcrc[:], crc32.Checksum(cw.buf, crcTable))
+	cw.write(fcrc[:])
+	cw.buf = cw.buf[:0]
+}
+
+// finish flushes the last frame and writes the end marker plus the
+// whole-stream CRC trailer (which checksums everything before itself,
+// so it is not folded into the digest).
+func (cw *chunkedWriter) finish() {
+	cw.flushFrame()
+	cw.write([]byte{0})
+	if cw.err != nil {
+		return
+	}
 	var tb [4]byte
-	binary.LittleEndian.PutUint32(tb[:], crc.Sum32())
-	if _, err := cw.Write(tb[:]); err != nil {
-		return cw.n, err
+	binary.LittleEndian.PutUint32(tb[:], cw.crc.Sum32())
+	n, err := cw.w.Write(tb[:])
+	cw.n += int64(n)
+	cw.err = err
+}
+
+// WriteBinaryV3 serializes g in the fnr binary v3 chunked format — the
+// same logical payload as v2 with 64-bit arc counts, framed so the
+// reader's transient memory is one chunk instead of the whole file.
+// It is the only format that can carry graphs past 2^31 arcs.
+func (g *Graph) WriteBinaryV3(w io.Writer) (int64, error) {
+	return g.writeBinaryV3(w, v3ChunkLen)
+}
+
+// writeBinaryV3 is WriteBinaryV3 with an explicit chunk target, so
+// tests can force multi-frame streams at unit-test sizes.
+func (g *Graph) writeBinaryV3(w io.Writer, chunk int) (int64, error) {
+	if chunk < 1 {
+		chunk = 1
 	}
-	return cw.n, nil
+	if chunk > v3MaxChunkLen {
+		return 0, fmt.Errorf("graph: v3 chunk %d exceeds the reader's frame cap %d", chunk, v3MaxChunkLen)
+	}
+	cw := &chunkedWriter{
+		w:     w,
+		crc:   crc32.New(crcTable),
+		chunk: chunk,
+		buf:   make([]byte, 0, chunk+binary.MaxVarintLen64),
+	}
+	cw.write(binMagicV3[:])
+	g.emitBinarySections(cw.putU, cw.putI)
+	cw.finish()
+	return cw.n, cw.err
+}
+
+// frameReader streams the v3 wire format one frame at a time: buf
+// holds the current frame's payload (verified against its CRC before
+// any byte is decoded), the stream digest accumulates incrementally,
+// and remain tracks the input bytes left when the source's size is
+// known (-1 otherwise). err is sticky, so decode loops read varints
+// unconditionally and check once per row.
+type frameReader struct {
+	r      io.Reader
+	crc    hash.Hash32
+	buf    []byte
+	pos    int
+	remain int64
+	end    bool // end marker seen: no more payload frames
+	err    error
+}
+
+// errSplitVarint rejects crafted streams whose frame boundary falls
+// inside a varint — the writer never produces one.
+var errSplitVarint = errors.New("varint split across a chunk boundary")
+
+// readWire fills p with raw wire bytes, counting them against remain
+// and folding them into the stream digest.
+func (fr *frameReader) readWire(p []byte) error {
+	if _, err := io.ReadFull(fr.r, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	fr.crc.Write(p)
+	if fr.remain >= 0 {
+		fr.remain -= int64(len(p))
+	}
+	return nil
+}
+
+// wireUvarint reads one uvarint byte-by-byte from the wire (frame
+// lengths live outside any frame).
+func (fr *frameReader) wireUvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	var one [1]byte
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		if err := fr.readWire(one[:]); err != nil {
+			return 0, err
+		}
+		b := one[0]
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				break
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, errors.New("frame length varint overflows")
+}
+
+// nextFrame loads the next data frame into buf, or — on the end
+// marker — verifies the whole-stream CRC and that the input ends.
+func (fr *frameReader) nextFrame() error {
+	plen, err := fr.wireUvarint()
+	if err != nil {
+		return err
+	}
+	if plen == 0 {
+		// End marker: the trailer checksums every wire byte before it,
+		// so snapshot the digest before consuming it.
+		want := fr.crc.Sum32()
+		var tb [4]byte
+		if _, err := io.ReadFull(fr.r, tb[:]); err != nil {
+			return io.ErrUnexpectedEOF
+		}
+		if binary.LittleEndian.Uint32(tb[:]) != want {
+			return errors.New("stream checksum mismatch (corrupt or reordered frames)")
+		}
+		var one [1]byte
+		if n, err := io.ReadFull(fr.r, one[:]); n != 0 || err != io.EOF {
+			return errors.New("trailing bytes after the v3 stream trailer")
+		}
+		fr.end = true
+		fr.buf, fr.pos = fr.buf[:0], 0
+		return nil
+	}
+	if plen > v3MaxChunkLen {
+		return fmt.Errorf("frame length %d exceeds the %d-byte cap", plen, v3MaxChunkLen)
+	}
+	if fr.remain >= 0 && int64(plen)+4 > fr.remain {
+		return io.ErrUnexpectedEOF
+	}
+	if uint64(cap(fr.buf)) < plen {
+		fr.buf = make([]byte, plen)
+	}
+	fr.buf = fr.buf[:plen]
+	fr.pos = 0
+	if err := fr.readWire(fr.buf); err != nil {
+		return err
+	}
+	var fcrc [4]byte
+	if err := fr.readWire(fcrc[:]); err != nil {
+		return err
+	}
+	if crc32.Checksum(fr.buf, crcTable) != binary.LittleEndian.Uint32(fcrc[:]) {
+		return errors.New("frame checksum mismatch (corrupt or truncated chunk)")
+	}
+	return nil
+}
+
+// u64 decodes the next payload uvarint, crossing frame boundaries.
+func (fr *frameReader) u64() uint64 {
+	if fr.err != nil {
+		return 0
+	}
+	for fr.pos == len(fr.buf) {
+		if fr.end {
+			fr.err = io.ErrUnexpectedEOF
+			return 0
+		}
+		if err := fr.nextFrame(); err != nil {
+			fr.err = err
+			return 0
+		}
+		if fr.end {
+			fr.err = io.ErrUnexpectedEOF
+			return 0
+		}
+	}
+	x, k := binary.Uvarint(fr.buf[fr.pos:])
+	if k <= 0 {
+		if k == 0 {
+			fr.err = errSplitVarint
+		} else {
+			fr.err = errors.New("payload varint overflows")
+		}
+		return 0
+	}
+	fr.pos += k
+	return x
+}
+
+// i64 decodes the next payload zigzag varint.
+func (fr *frameReader) i64() int64 {
+	x := fr.u64()
+	return int64(x>>1) ^ -int64(x&1)
+}
+
+// finish checks that the payload and the stream end together: no
+// unconsumed payload bytes, no frames past the decoded sections, and a
+// verified end marker.
+func (fr *frameReader) finish() error {
+	if fr.err != nil {
+		return fr.err
+	}
+	if fr.pos != len(fr.buf) {
+		return fmt.Errorf("%d unconsumed bytes after the arc sections", len(fr.buf)-fr.pos)
+	}
+	if !fr.end {
+		if err := fr.nextFrame(); err != nil {
+			return err
+		}
+		if !fr.end {
+			return fmt.Errorf("%d unconsumed bytes after the arc sections", len(fr.buf))
+		}
+	}
+	return nil
+}
+
+// readBinaryV3 decodes the v3 chunked format. sizeHint is the input's
+// remaining byte count when known (seekable files, in-memory readers),
+// -1 otherwise. Known sizes get the v2 check-before-allocate guard and
+// exact preallocation — the streaming decode then allocates nothing
+// transient beyond one frame buffer, which is what keeps transient
+// memory O(chunk) instead of O(file). Unknown sizes fall back to
+// append growth, which is bounded by a small multiple of the input
+// actually consumed, so a forged header still cannot buy allocation it
+// did not pay for in bytes.
+func readBinaryV3(br *bufio.Reader, sizeHint int64) (*Graph, error) {
+	fr := &frameReader{r: br, crc: crc32.New(crcTable), remain: sizeHint}
+	var magic [8]byte
+	if err := fr.readWire(magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: v3 magic: %w", err)
+	}
+	nU, nPrimeU, arcsU := fr.u64(), fr.u64(), fr.u64()
+	if fr.err != nil {
+		return nil, fmt.Errorf("graph: v3 header: %w", fr.err)
+	}
+	if nU > maxReasonableN {
+		return nil, fmt.Errorf("graph: unreasonable n=%d", nU)
+	}
+	if nPrimeU > math.MaxInt64 {
+		return nil, fmt.Errorf("graph: n'=%d overflows the ID space", nPrimeU)
+	}
+	if arcsU >= v3MaxArcs {
+		return nil, fmt.Errorf("graph: unreasonable arc count %d", arcsU)
+	}
+	n, arcs := int(nU), int64(arcsU)
+	sized := fr.remain >= 0
+	// Every varint is at least one byte and framing only adds bytes, so
+	// the input must still hold at least 2n+2arcs bytes across the
+	// unread wire and the already-buffered frame remainder — reject
+	// before allocating for a payload that cannot exist.
+	avail := fr.remain + int64(len(fr.buf)-fr.pos)
+	if sized && int64(2*n)+2*arcs > avail {
+		return nil, fmt.Errorf("graph: v3 payload truncated (%d bytes left for n=%d, %d arcs)", avail, n, arcs)
+	}
+	idCap := n
+	if !sized {
+		idCap = min(n, 1<<16)
+	}
+	ids := make([]int64, 0, idCap)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		prev += fr.i64()
+		if fr.err != nil {
+			return nil, fmt.Errorf("graph: v3 ids: %w", fr.err)
+		}
+		ids = append(ids, prev)
+	}
+	// n ids decoded means ≥ n input bytes consumed, so the offsets
+	// allocation below is amplification-bounded even unsized.
+	offsets := make([]int64, n+1)
+	total := uint64(0)
+	for v := 0; v < n; v++ {
+		deg := fr.u64()
+		if fr.err != nil {
+			return nil, fmt.Errorf("graph: v3 degrees: %w", fr.err)
+		}
+		// Compare against remaining capacity (not a sum) so a crafted
+		// degree near 2^64 cannot wrap past the checks.
+		if deg > arcsU-total {
+			return nil, fmt.Errorf("graph: degree sum exceeds declared arc count %d", arcsU)
+		}
+		total += deg
+		offsets[v+1] = int64(total)
+	}
+	if total != arcsU {
+		return nil, fmt.Errorf("graph: degree sum %d does not match declared arc count %d", total, arcsU)
+	}
+	arcCap := arcs
+	if !sized {
+		arcCap = min(arcs, 1<<20)
+	}
+	sorted := make([]Vertex, 0, arcCap)
+	ports := make([]int32, 0, arcCap)
+	for v := 0; v < n; v++ {
+		o, e := offsets[v], offsets[v+1]
+		prev = -1
+		for i := o; i < e; i++ {
+			gap := fr.u64()
+			if fr.err != nil {
+				return nil, fmt.Errorf("graph: v3 arcs: %w", fr.err)
+			}
+			if gap >= uint64(n) {
+				return nil, fmt.Errorf("graph: vertex %d has out-of-range neighbor gap %d", v, gap)
+			}
+			if i > o && gap == 0 {
+				return nil, fmt.Errorf("graph: parallel edge %d-%d", v, prev)
+			}
+			next := prev + int64(gap)
+			if i == o {
+				next++ // first gap counts from 0, prev starts at -1
+			}
+			if next >= int64(n) {
+				return nil, fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, next)
+			}
+			sorted = append(sorted, Vertex(next))
+			prev = next
+		}
+		deg := uint64(e - o)
+		for i := o; i < e; i++ {
+			p := fr.u64()
+			if fr.err != nil {
+				return nil, fmt.Errorf("graph: v3 arcs: %w", fr.err)
+			}
+			if p >= deg {
+				return nil, fmt.Errorf("graph: vertex %d has port %d outside [0,%d)", v, p, deg)
+			}
+			ports = append(ports, int32(p))
+		}
+	}
+	if err := fr.finish(); err != nil {
+		return nil, fmt.Errorf("graph: v3 payload: %w", err)
+	}
+	return fromCSRSorted(ids, offsets, sorted, ports, int64(nPrimeU))
+}
+
+// sizeHintOf reports how many bytes remain in r when r exposes its
+// size — in-memory readers via Len (bytes.Reader, strings.Reader),
+// regular files via Stat and the current offset — and -1 otherwise.
+func sizeHintOf(r io.Reader) int64 {
+	if l, ok := r.(interface{ Len() int }); ok {
+		return int64(l.Len())
+	}
+	type statSeeker interface {
+		io.Seeker
+		Stat() (fs.FileInfo, error)
+	}
+	if f, ok := r.(statSeeker); ok {
+		if fi, err := f.Stat(); err == nil && fi.Mode().IsRegular() {
+			if pos, err := f.Seek(0, io.SeekCurrent); err == nil && pos >= 0 && pos <= fi.Size() {
+				return fi.Size() - pos
+			}
+		}
+	}
+	return -1
 }
 
 // maxReasonableN bounds the vertex count either parser accepts before
 // allocating anything proportional to it.
 const maxReasonableN = 1 << 28
 
-// Read parses a graph in either serialization format — v2 binary or
-// v1 text, auto-detected from the leading bytes — and validates it.
+// Read parses a graph in any serialization format — v3 chunked
+// binary, v2 binary, or v1 text, auto-detected from the leading
+// bytes — and validates it. v3 decodes streaming with O(chunk)
+// transient memory; the size hint for its check-before-allocate guard
+// is sniffed from r before any buffering.
 func Read(r io.Reader) (*Graph, error) {
+	sizeHint := sizeHintOf(r)
 	br := bufio.NewReaderSize(r, 1<<16)
 	head, err := br.Peek(len(binMagic))
-	if err == nil && bytes.Equal(head, binMagic[:]) {
-		return readBinary(br)
-	}
 	if err == nil && bytes.Equal(head[:len(binMagic)-1], binMagic[:len(binMagic)-1]) {
-		return nil, fmt.Errorf("graph: unsupported binary format version %d", head[len(binMagic)-1])
+		switch head[len(binMagic)-1] {
+		case binMagic[len(binMagic)-1]:
+			return readBinary(br)
+		case binMagicV3[len(binMagicV3)-1]:
+			return readBinaryV3(br, sizeHint)
+		default:
+			return nil, fmt.Errorf("graph: unsupported binary format version %d", head[len(binMagic)-1])
+		}
 	}
 	return readText(br)
 }
@@ -274,7 +755,7 @@ func readBinary(br *bufio.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: n'=%d overflows the ID space", nPrimeU)
 	}
 	if arcsU > math.MaxInt32 {
-		return nil, fmt.Errorf("graph: arc count %d exceeds CSR capacity (int32 offsets)", arcsU)
+		return nil, fmt.Errorf("graph: arc count %d exceeds v2 format capacity (max %d arcs; use the v3 format)", arcsU, math.MaxInt32)
 	}
 	n, arcs := int(nU), int(arcsU)
 	// Every varint is at least one byte; reject counts the remaining
@@ -288,7 +769,7 @@ func readBinary(br *bufio.Reader) (*Graph, error) {
 		prev += nextI()
 		ids[i] = prev
 	}
-	offsets := make([]int32, n+1)
+	offsets := make([]int64, n+1)
 	total := uint64(0)
 	for v := 0; v < n; v++ {
 		deg := nextU()
@@ -300,7 +781,7 @@ func readBinary(br *bufio.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: degree sum exceeds declared arc count %d", arcsU)
 		}
 		total += deg
-		offsets[v+1] = int32(total)
+		offsets[v+1] = int64(total)
 	}
 	if derr == nil && total != arcsU {
 		return nil, fmt.Errorf("graph: degree sum %d does not match declared arc count %d", total, arcsU)
@@ -397,7 +878,7 @@ func readText(br *bufio.Reader) (*Graph, error) {
 	if err := fs.expectEOL(); err != nil {
 		return nil, fmt.Errorf("graph: bad ids line (more than n=%d fields): %w", n, err)
 	}
-	offsets := make([]int32, n+1)
+	offsets := make([]int64, n+1)
 	var nbrs []Vertex
 	for i := 0; i < n; i++ {
 		row, err := lr.line()
@@ -424,11 +905,11 @@ func readText(br *bufio.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("graph: neighbor %d of vertex %d overflows the vertex index space", w, i)
 			}
 			if int64(len(nbrs)) >= math.MaxInt32 {
-				return nil, fmt.Errorf("graph: arc count exceeds CSR capacity (int32 offsets)")
+				return nil, fmt.Errorf("graph: arc count exceeds v1 text capacity (max %d arcs; use the v3 binary format)", math.MaxInt32)
 			}
 			nbrs = append(nbrs, Vertex(w))
 		}
-		offsets[i+1] = int32(len(nbrs))
+		offsets[i+1] = int64(len(nbrs))
 	}
 	row, err = lr.line()
 	if err != nil {

@@ -37,6 +37,14 @@ type Config struct {
 	// engine default, < 0 = the per-trial stepper path). Like Workers
 	// it never affects results, only wall-clock time and memory.
 	LaneWidth int
+	// ShardIndex and ShardCount split every engine batch the suite
+	// submits across independent processes (see engine.Batch): shard
+	// i of k runs only its slice of each batch's trials, with seeds
+	// still derived from global trial indices. Tables from a sharded
+	// run summarize partial samples; merge across shards externally.
+	// ShardCount 0 or 1 = unsharded. Bespoke program-pair trials
+	// (runTrials) are not sharded.
+	ShardIndex, ShardCount int
 	// Params selects the algorithm constants (default
 	// core.PracticalParams; see DESIGN.md on constant scaling).
 	Params core.Params
@@ -118,17 +126,19 @@ func runTrials[T any](cfg Config, batchSeed uint64, f func(trial int, seed uint6
 // and returns the per-trial outcomes.
 func runAlgo(cfg Config, trials int, batchSeed uint64, g *graph.Graph, sa, sb graph.Vertex, name string, delta int, maxRounds int64) ([]engine.Outcome, error) {
 	return engine.RunOutcomes(engine.Batch{
-		Graph:     g,
-		StartA:    sa,
-		StartB:    sb,
-		Algorithm: name,
-		Params:    cfg.Params,
-		Delta:     delta,
-		Trials:    trials,
-		Seed:      batchSeed,
-		MaxRounds: maxRounds,
-		Workers:   cfg.Workers,
-		LaneWidth: cfg.LaneWidth,
+		Graph:      g,
+		StartA:     sa,
+		StartB:     sb,
+		Algorithm:  name,
+		Params:     cfg.Params,
+		Delta:      delta,
+		Trials:     trials,
+		Seed:       batchSeed,
+		MaxRounds:  maxRounds,
+		Workers:    cfg.Workers,
+		LaneWidth:  cfg.LaneWidth,
+		ShardIndex: cfg.ShardIndex,
+		ShardCount: cfg.ShardCount,
 	})
 }
 
