@@ -39,9 +39,11 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand/v2"
 	"os"
@@ -50,6 +52,7 @@ import (
 	"time"
 
 	"fnr"
+	"fnr/internal/atomicio"
 )
 
 type batchReport struct {
@@ -533,17 +536,20 @@ func main() {
 		setupCycles = flag.Int("setup-cycles", 10000, "build+Init+Finish cycles per stepper setup-cost measurement")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
 
-		shard          = flag.String("shard", "", "run batch shard i of k, format i/k (trial seeds stay global; merge reducers across shards)")
-		assertLockstep = flag.Bool("assert-lockstep", false, "fail if the lockstep lane path is slower than the per-trial stepper path on any preset (CI smoke)")
-		mega           = flag.Bool("mega", true, "also run the 10M-trial streaming-aggregation preset")
-		megaTrials     = flag.Int("mega-trials", 10_000_000, "streaming preset trials")
-		megaN          = flag.Int("mega-n", 64, "streaming preset graph size")
-		megaD          = flag.Int("mega-d", 8, "streaming preset planted minimum degree")
-		huge           = flag.Bool("huge", true, "also run the million-vertex graph-core preset")
-		hugeN          = flag.Int("huge-n", 1<<20, "huge preset graph size")
-		hugeD          = flag.Int("huge-d", 64, "huge preset planted minimum degree")
-		hugeTrials     = flag.Int("huge-trials", 8, "huge preset sweep trials")
-		assertHugeIO   = flag.Bool("assert-huge-io", false, "fail if the huge preset's streaming read allocates ≥ 2×V3MaxChunkLen beyond the graph (CI smoke)")
+		shard           = flag.String("shard", "", "run batch shard i of k, format i/k (trial seeds stay global; merge reducers across shards)")
+		assertLockstep  = flag.Bool("assert-lockstep", false, "fail if the lockstep lane path is slower than the per-trial stepper path on any preset (CI smoke)")
+		mega            = flag.Bool("mega", true, "also run the 10M-trial streaming-aggregation preset")
+		megaTrials      = flag.Int("mega-trials", 10_000_000, "streaming preset trials")
+		megaN           = flag.Int("mega-n", 64, "streaming preset graph size")
+		megaD           = flag.Int("mega-d", 8, "streaming preset planted minimum degree")
+		checkpoint      = flag.String("checkpoint", "", "journal the mega preset's progress to this file (atomic rewrite every -checkpoint-every trials)")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "trials between mega checkpoint flushes (0 = engine default)")
+		resume          = flag.String("resume", "", "resume the mega preset from this checkpoint journal, skipping its covered trials")
+		huge            = flag.Bool("huge", true, "also run the million-vertex graph-core preset")
+		hugeN           = flag.Int("huge-n", 1<<20, "huge preset graph size")
+		hugeD           = flag.Int("huge-d", 64, "huge preset planted minimum degree")
+		hugeTrials      = flag.Int("huge-trials", 8, "huge preset sweep trials")
+		assertHugeIO    = flag.Bool("assert-huge-io", false, "fail if the huge preset's streaming read allocates ≥ 2×V3MaxChunkLen beyond the graph (CI smoke)")
 	)
 	flag.Parse()
 
@@ -703,9 +709,33 @@ func main() {
 		}
 		runtime.GC()
 		start := time.Now()
-		agg, err := fnr.RunBatchStreaming(batch)
-		if err != nil {
-			log.Fatalf("mega sweep: %v", err)
+		var agg *fnr.Aggregate
+		if *checkpoint != "" || *resume != "" {
+			// Crash-safe mode: journal progress, resume coverage. The
+			// resumed result is byte-identical to an uninterrupted run
+			// (reducer merging is partition-insensitive).
+			var prior *fnr.BatchReducer
+			if *resume != "" {
+				var err error
+				if prior, err = fnr.ReadBatchCheckpoint(*resume, batch); err != nil {
+					log.Fatalf("mega resume: %v", err)
+				}
+			}
+			ck := fnr.BatchCheckpoint{Path: *checkpoint, Every: *checkpointEvery}
+			if ck.Path == "" {
+				ck.Path = *resume
+			}
+			r, err := fnr.RunBatchCheckpointed(context.Background(), batch, ck, prior)
+			if err != nil {
+				log.Fatalf("mega sweep: %v", err)
+			}
+			agg = r.Aggregate(batch)
+		} else {
+			var err error
+			agg, err = fnr.RunBatchStreaming(batch)
+			if err != nil {
+				log.Fatalf("mega sweep: %v", err)
+			}
 		}
 		elapsed := max(time.Since(start).Milliseconds(), 1)
 		var ms runtime.MemStats
@@ -724,17 +754,14 @@ func main() {
 		rep.Huge = runHuge(*hugeN, *hugeD, *hugeTrials, *seed, workers, shardIndex, shardCount, *assertHugeIO)
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	// Atomic write: a benchmark process killed mid-report must leave
+	// either the previous BENCH file or the new one, never a torn
+	// half-JSON a downstream comparison then half-parses.
+	if err := atomicio.WriteFile(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("gen n=%d d=%d: %dms", *n, *d, rep.GenElapsedMS)

@@ -9,17 +9,34 @@
 //	experiments -quick -trials 4 # smaller sweeps
 //	experiments -csv out/        # also write one CSV per experiment
 //	experiments -json            # machine-readable tables on stdout
-//	experiments -parallel 8      # bound trial parallelism
+//	experiments -parallel 8     # bound trial parallelism
+//
+// Tail mode runs one long crash-safe batch instead of the table
+// suite — the entry point for resolving the Theorem 1–2 tail
+// constants with orders-of-magnitude more trials than the tables
+// use. It journals progress, resumes after a kill, honors Ctrl-C
+// (finishing cleanly with whatever coverage it reached), and can
+// inject deterministic faults; the aggregate JSON goes to stdout:
+//
+//	experiments -tail whiteboard -tail-trials 10000000 \
+//	    -checkpoint tail.ckpt            # kill -9 any time
+//	experiments -tail whiteboard -tail-trials 10000000 \
+//	    -checkpoint tail.ckpt -resume tail.ckpt   # picks up coverage
+//	experiments -tail sweep -faults panic:p=1e-4,stall:p=1e-4
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"fnr"
@@ -47,6 +64,17 @@ func main() {
 		shard    = flag.String("shard", "", "run engine-batch shard i of k, format i/k (trial seeds stay global; tables then summarize partial samples)")
 		csvDir   = flag.String("csv", "", "directory to write per-experiment CSVs")
 		jsonOut  = flag.Bool("json", false, "emit one JSON document with every table instead of markdown")
+
+		tailAlgo        = flag.String("tail", "", "run one crash-safe tail batch of this algorithm instead of the suite (e.g. whiteboard, sweep)")
+		tailN           = flag.Int("tail-n", 1<<12, "tail mode: planted workload size")
+		tailD           = flag.Int("tail-d", 64, "tail mode: planted minimum degree")
+		tailTrials      = flag.Int("tail-trials", 100_000, "tail mode: trials")
+		tailSeed        = flag.Uint64("tail-seed", 1, "tail mode: batch seed (also derives the workload)")
+		checkpoint      = flag.String("checkpoint", "", "tail mode: journal progress to this file (atomic rewrite every -checkpoint-every trials)")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "tail mode: trials between checkpoint flushes (0 = engine default)")
+		resume          = flag.String("resume", "", "tail mode: resume from this checkpoint journal, skipping its covered trials")
+		faults          = flag.String("faults", "", "tail mode: deterministic fault plan, e.g. panic:p=1e-4,stall:p=1e-4,builderr:p=1e-5")
+		faultSeed       = flag.Uint64("fault-seed", 0, "tail mode: fault-plan seed (independent of -tail-seed)")
 	)
 	flag.Parse()
 
@@ -70,6 +98,18 @@ func main() {
 		cfg.Params = fnr.PaperParams()
 	default:
 		log.Fatalf("unknown preset %q", *preset)
+	}
+
+	if *tailAlgo != "" {
+		runTail(cfg, tailOptions{
+			algorithm: *tailAlgo,
+			n:         *tailN, d: *tailD,
+			trials: *tailTrials, seed: *tailSeed,
+			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
+			resume: *resume,
+			faults: *faults, faultSeed: *faultSeed,
+		})
+		return
 	}
 
 	var selected []fnr.Experiment
@@ -139,5 +179,92 @@ func main() {
 		if err := enc.Encode(jsonTables); err != nil {
 			log.Fatal(err)
 		}
+	}
+}
+
+// tailOptions collects the -tail* flag values.
+type tailOptions struct {
+	algorithm       string
+	n, d            int
+	trials          int
+	seed            uint64
+	checkpoint      string
+	checkpointEvery int
+	resume          string
+	faults          string
+	faultSeed       uint64
+}
+
+// runTail executes one long crash-safe batch and prints its aggregate
+// as indented JSON. The workload derivation matches benchengine's mega
+// preset (PCG stream 0xbe7c4), so a tail run with the same (n, d, seed)
+// exercises the same instance a benchmark run journals.
+func runTail(cfg fnr.ExperimentConfig, opt tailOptions) {
+	// SIGINT/SIGTERM cancel the batch at the next chunk boundary; the
+	// run still flushes its journal and prints the partial aggregate.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rng := rand.New(rand.NewPCG(opt.seed, 0xbe7c4))
+	g, err := fnr.PlantedMinDegree(opt.n, opt.d, rng)
+	if err != nil {
+		log.Fatalf("tail workload: %v", err)
+	}
+	sa := fnr.Vertex(rng.IntN(g.N()))
+	for g.Degree(sa) == 0 {
+		sa = fnr.Vertex(rng.IntN(g.N()))
+	}
+	sb := g.Adj(sa)[rng.IntN(g.Degree(sa))]
+
+	batch := fnr.Batch{
+		Graph:      g,
+		StartA:     sa,
+		StartB:     sb,
+		Algorithm:  opt.algorithm,
+		Params:     cfg.Params,
+		Delta:      g.MinDegree(),
+		Trials:     opt.trials,
+		Seed:       opt.seed,
+		Workers:    cfg.Workers,
+		ShardIndex: cfg.ShardIndex,
+		ShardCount: cfg.ShardCount,
+	}
+	if opt.faults != "" {
+		plan, err := fnr.ParseFaultPlan(opt.faults, opt.faultSeed)
+		if err != nil {
+			log.Fatalf("tail: %v", err)
+		}
+		batch.Faults = plan
+	}
+
+	var r *fnr.BatchReducer
+	if opt.checkpoint != "" || opt.resume != "" {
+		var prior *fnr.BatchReducer
+		if opt.resume != "" {
+			if prior, err = fnr.ReadBatchCheckpoint(opt.resume, batch); err != nil {
+				log.Fatalf("tail resume: %v", err)
+			}
+		}
+		ck := fnr.BatchCheckpoint{Path: opt.checkpoint, Every: opt.checkpointEvery}
+		if ck.Path == "" {
+			ck.Path = opt.resume
+		}
+		r, err = fnr.RunBatchCheckpointed(ctx, batch, ck, prior)
+	} else {
+		r, err = fnr.RunBatchReducedContext(ctx, batch)
+	}
+	// Cancellation still yields the partial reducer; report it before
+	// deciding the exit status.
+	cancelled := err != nil && ctx.Err() != nil && r != nil
+	if err != nil && !cancelled {
+		log.Fatalf("tail: %v", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if encErr := enc.Encode(r.Aggregate(batch)); encErr != nil {
+		log.Fatal(encErr)
+	}
+	if cancelled {
+		log.Fatalf("tail: interrupted (%v); coverage flushed, rerun with -resume to finish", err)
 	}
 }

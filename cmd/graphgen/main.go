@@ -17,12 +17,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand/v2"
 	"os"
 
 	"fnr"
+	"fnr/internal/atomicio"
 )
 
 func main() {
@@ -86,15 +88,13 @@ func main() {
 		default:
 			log.Fatalf("unknown format %q (want binary, binary3, or text)", *format)
 		}
-		f, err := os.Create(*out)
+		// Atomic rewrite: a crash mid-write (or a reader racing the
+		// generator) never observes a truncated graph file.
+		err := atomicio.WriteFile(*out, func(w io.Writer) error {
+			_, err := write(g, w)
+			return err
+		})
 		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := write(g, f); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%s)\n", *out, label)

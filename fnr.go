@@ -33,6 +33,7 @@
 package fnr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -464,7 +465,19 @@ var MergeBatchReducers = engine.Merge
 // returns the batch's merged reducer instead of the final aggregate,
 // so shards run in separate processes can be combined with
 // MergeBatchReducers before calling Aggregate.
-func RunBatchReduced(b Batch) (*BatchReducer, error) { return engine.RunReduced(b) }
+func RunBatchReduced(b Batch) (*BatchReducer, error) {
+	return engine.RunReduced(context.Background(), b)
+}
+
+// RunBatchReducedContext is RunBatchReduced under a context:
+// cancelling ctx stops the run at the next chunk boundary — no trial
+// is ever torn mid-flight, no goroutine outlives the call — and
+// returns the reducer state completed so far together with
+// ctx.Err(). The partial reducer's Spans say exactly which global
+// trials it covers, so it can be checkpointed and resumed.
+func RunBatchReducedContext(ctx context.Context, b Batch) (*BatchReducer, error) {
+	return engine.RunReduced(ctx, b)
+}
 
 // DefaultLaneWidth is the widest lockstep lane Batch.LaneWidth = 0
 // selects: how many trials each worker keeps resident at once on the
@@ -481,11 +494,20 @@ func AutoLaneWidth(n int) int { return engine.AutoLaneWidth(n) }
 // the streamed aggregate. Each trial's seed derives from
 // (Batch.Seed, trial index), so the result is bit-identical for any
 // Workers setting.
-func RunBatch(b Batch) (*Aggregate, error) { return engine.Run(b) }
+func RunBatch(b Batch) (*Aggregate, error) { return engine.Run(context.Background(), b) }
+
+// RunBatchContext is RunBatch under a context; a cancelled run
+// returns (nil, ctx.Err()). Callers that want the partial state of a
+// cancelled run use RunBatchReducedContext.
+func RunBatchContext(ctx context.Context, b Batch) (*Aggregate, error) {
+	return engine.Run(ctx, b)
+}
 
 // RunBatchOutcomes is RunBatch returning the per-trial outcomes in
 // trial order instead of the aggregate.
-func RunBatchOutcomes(b Batch) ([]BatchOutcome, error) { return engine.RunOutcomes(b) }
+func RunBatchOutcomes(b Batch) ([]BatchOutcome, error) {
+	return engine.RunOutcomes(context.Background(), b)
+}
 
 // RunBatchStreaming is RunBatch with bounded-memory aggregation:
 // outcomes stream into per-worker reducers as trials finish, so
@@ -494,7 +516,61 @@ func RunBatchOutcomes(b Batch) ([]BatchOutcome, error) { return engine.RunOutcom
 // batches. Results are deterministic at any Workers/LaneWidth
 // setting; the means may differ from RunBatch by a few ULPs (exact
 // multiset mean vs trial-ordered Welford — see engine.RunStreaming).
-func RunBatchStreaming(b Batch) (*Aggregate, error) { return engine.RunStreaming(b) }
+func RunBatchStreaming(b Batch) (*Aggregate, error) {
+	return engine.RunStreaming(context.Background(), b)
+}
+
+// RunBatchStreamingContext is RunBatchStreaming under a context; a
+// cancelled run returns (nil, ctx.Err()).
+func RunBatchStreamingContext(ctx context.Context, b Batch) (*Aggregate, error) {
+	return engine.RunStreaming(ctx, b)
+}
+
+// Fault-tolerance surface, re-exported from the engine: crash-safe
+// checkpoint journals for long batches, and the deterministic
+// fault-injection plans that make the tolerance machinery itself
+// differential-testable.
+type (
+	// BatchCheckpoint configures RunBatchCheckpointed's journal: the
+	// file rewritten (atomically) with the batch's merged reducer
+	// state, and the trial cadence of those rewrites.
+	BatchCheckpoint = engine.Checkpoint
+	// FaultPlan injects deterministic per-trial faults (panics,
+	// stalls, builder errors) into a batch via Batch.Faults; fault
+	// placement depends only on (plan seed, global trial index), so
+	// aggregates stay byte-identical at any parallelism.
+	FaultPlan = engine.FaultPlan
+)
+
+// ParseFaultPlan parses the fault-plan grammar, e.g.
+// "panic:p=1e-4,stall:p=1e-4,builderr:p=1e-5".
+func ParseFaultPlan(spec string, seed uint64) (*FaultPlan, error) {
+	return engine.ParseFaultPlan(spec, seed)
+}
+
+// RunBatchCheckpointed executes the batch like RunBatchReducedContext
+// while journalling progress to ck.Path every ck.Every trials (and
+// once on return), resuming from an earlier journal's reducer if one
+// is given: only the trials outside resume's covered spans run, and
+// the merged result is byte-identical to an uninterrupted run — the
+// engine's crash-recovery loop (kill at any point, reload the
+// journal with ReadBatchCheckpoint, rerun).
+func RunBatchCheckpointed(ctx context.Context, b Batch, ck BatchCheckpoint, resume *BatchReducer) (*BatchReducer, error) {
+	return engine.RunCheckpointed(ctx, b, ck, resume)
+}
+
+// WriteBatchCheckpoint atomically writes a batch's reducer state to
+// a versioned, CRC-framed checkpoint journal at path.
+func WriteBatchCheckpoint(path string, b Batch, r *BatchReducer) error {
+	return engine.WriteCheckpointFile(path, b, r)
+}
+
+// ReadBatchCheckpoint loads the checkpoint journal at path,
+// validating its integrity and that it belongs to this exact batch
+// (algorithm, seed, trials, instance, budget and fault plan).
+func ReadBatchCheckpoint(path string, b Batch) (*BatchReducer, error) {
+	return engine.ReadCheckpointFile(path, b)
+}
 
 // RunPrograms executes two custom agent programs under an explicit
 // simulation configuration — the low-level entry point for user-written

@@ -50,11 +50,11 @@ func TestStepperAndProgramPathsAreIdentical(t *testing.T) {
 				slow := base
 				slow.ForceProgramPath = true
 
-				fastOut, err := RunOutcomes(fast)
+				fastOut, err := RunOutcomes(t.Context(), fast)
 				if err != nil {
 					t.Fatalf("%s/%s/seed%d stepper path: %v", spec, inst.name, seed, err)
 				}
-				slowOut, err := RunOutcomes(slow)
+				slowOut, err := RunOutcomes(t.Context(), slow)
 				if err != nil {
 					t.Fatalf("%s/%s/seed%d program path: %v", spec, inst.name, seed, err)
 				}
@@ -116,7 +116,7 @@ func TestPaperSteppersIdenticalAcrossWorkersAndPaths(t *testing.T) {
 				b := base
 				b.Workers = workers
 				b.ForceProgramPath = force
-				out, err := RunOutcomes(b)
+				out, err := RunOutcomes(t.Context(), b)
 				if err != nil {
 					t.Fatalf("%s force=%v workers=%d: %v", name, force, workers, err)
 				}
@@ -157,7 +157,7 @@ func TestStepperPathDeterministicAcrossWorkers(t *testing.T) {
 		for _, workers := range []int{1, 8} {
 			b := base
 			b.Workers = workers
-			agg, err := Run(b)
+			agg, err := Run(t.Context(), b)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", name, workers, err)
 			}
@@ -190,7 +190,7 @@ func TestLaneWidthAndWorkersDeterministic(t *testing.T) {
 		ref := base
 		ref.Workers = 1
 		ref.LaneWidth = -1 // legacy per-trial stepper path
-		refOut, err := RunOutcomes(ref)
+		refOut, err := RunOutcomes(t.Context(), ref)
 		if err != nil {
 			t.Fatalf("%s reference: %v", name, err)
 		}
@@ -203,7 +203,7 @@ func TestLaneWidthAndWorkersDeterministic(t *testing.T) {
 				b := base
 				b.Workers = workers
 				b.LaneWidth = width
-				out, err := RunOutcomes(b)
+				out, err := RunOutcomes(t.Context(), b)
 				if err != nil {
 					t.Fatalf("%s workers=%d width=%d: %v", name, workers, width, err)
 				}

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -77,6 +78,16 @@ type Batch struct {
 	// byte. ShardCount 0 or 1 means unsharded; a sharded aggregate
 	// carries its coverage in TrialSpans.
 	ShardIndex, ShardCount int
+	// Faults, if non-nil, injects deterministic per-trial faults
+	// (panics, stalls, builder errors) derived from the plan's seed
+	// and the global trial index alone — the differential-test knob
+	// for the engine's fault-tolerance layer. Fault injection wraps
+	// steppers, so it requires the stepper fast path (prepare rejects
+	// a faulted batch whose strategy lacks steppers, or that forces
+	// the Program path). Like Workers and LaneWidth, the worker
+	// count, lane width and shard split must never change a faulted
+	// batch's aggregate.
+	Faults *FaultPlan
 }
 
 // shardSpan resolves the batch's global trial range [lo, hi).
@@ -142,10 +153,18 @@ type Outcome struct {
 	Rounds int64
 	// Moves is the total number of edge traversals by both agents.
 	Moves int64
-	// Err reports a per-trial simulation failure (program panic);
-	// such trials count as failures, not meetings.
+	// Err reports a per-trial simulation failure (abort, builder
+	// error, or an isolated panic); such trials count as failures,
+	// not meetings.
 	Err bool
+	// Msg carries the failure detail when Err — the abort error,
+	// builder error, or recovered panic message. It feeds
+	// Aggregate.FirstErrors; Outcome stays comparable with ==.
+	Msg string
 }
+
+// errOutcome reduces a trial-level failure to its Outcome.
+func errOutcome(err error) Outcome { return Outcome{Err: true, Msg: err.Error()} }
 
 // Dist summarizes a sample: mean, median, p95 and range. The zero
 // value stands for an empty sample.
@@ -200,6 +219,14 @@ type Aggregate struct {
 	// Moves summarizes total edge traversals over non-erroring
 	// trials (an erroring trial has no meaningful move count).
 	Moves Dist `json:"moves"`
+	// FirstErrors lists the first few distinct error messages of the
+	// batch — each with its lowest erroring trial index, "trial N:
+	// msg", ordered by that index — so a sea of failures surfaces its
+	// cause without storing per-trial detail. Keying by lowest trial
+	// index (never arrival order) keeps the list byte-identical
+	// regardless of worker count, lane width or shard split, and
+	// exact under reducer merges. Omitted when no trial erred.
+	FirstErrors []string `json:"first_errors,omitempty"`
 	// TrialSpans lists the global trial-index ranges the aggregate
 	// covers when the batch ran sharded (several ranges after merging
 	// non-adjacent shard reducers). It is omitted — keeping the JSON
@@ -217,6 +244,7 @@ func (a *Aggregate) Equal(o *Aggregate) bool {
 	return a.Algorithm == o.Algorithm && a.Trials == o.Trials && a.Seed == o.Seed &&
 		a.Met == o.Met && a.Failures == o.Failures && a.Errors == o.Errors &&
 		a.SuccessRate == o.SuccessRate && a.Rounds == o.Rounds && a.Moves == o.Moves &&
+		slices.Equal(a.FirstErrors, o.FirstErrors) &&
 		slices.Equal(a.TrialSpans, o.TrialSpans)
 }
 
@@ -254,7 +282,7 @@ func TrialsScratch[S, T any](workers, n int, newScratch func() S, f func(scratch
 		return nil
 	}
 	out := make([]T, n)
-	chunkedWorkers(workers, n, newScratch, func(scratch S, from, to int) {
+	chunkedWorkers(context.Background(), workers, n, newScratch, func(scratch S, from, to int) {
 		for i := from; i < to; i++ {
 			out[i] = f(scratch, i)
 		}
@@ -276,10 +304,19 @@ const claimChunk = 64
 // work is done (the streaming reducers merge them). Chunk claiming
 // partitions [0, n) exactly — every index is processed once — and
 // which worker claims which chunk must never affect results.
-func chunkedWorkers[S any](workers, n int, newScratch func() S, run func(scratch S, from, to int)) []S {
+//
+// Cancelling ctx stops the pool at the next chunk-claim boundary:
+// chunks already claimed run to completion (a cancel never tears a
+// trial mid-flight), no further chunks are claimed, and every worker
+// goroutine exits before chunkedWorkers returns — cancellation leaks
+// nothing. The ctx check is free for context.Background() (no Done
+// channel means no Err call per chunk).
+func chunkedWorkers[S any](ctx context.Context, workers, n int, newScratch func() S, run func(scratch S, from, to int)) []S {
 	if n <= 0 {
 		return nil
 	}
+	cancellable := ctx.Done() != nil
+	stopped := func() bool { return cancellable && ctx.Err() != nil }
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -287,8 +324,15 @@ func chunkedWorkers[S any](workers, n int, newScratch func() S, run func(scratch
 		workers = n
 	}
 	if workers == 1 {
+		// The serial fast path claims its chunks from a plain loop —
+		// no atomics — but honors the same chunk-boundary cancel.
 		scratch := newScratch()
-		run(scratch, 0, n)
+		for from := 0; from < n; from += claimChunk {
+			if stopped() {
+				break
+			}
+			run(scratch, from, min(from+claimChunk, n))
+		}
 		return []S{scratch}
 	}
 	scratches := make([]S, workers)
@@ -300,7 +344,7 @@ func chunkedWorkers[S any](workers, n int, newScratch func() S, run func(scratch
 			defer wg.Done()
 			scratch := newScratch()
 			scratches[w] = scratch
-			for {
+			for !stopped() {
 				from := int(next.Add(claimChunk)) - claimChunk
 				if from >= n {
 					return
@@ -321,27 +365,44 @@ func chunkedWorkers[S any](workers, n int, newScratch func() S, run func(scratch
 // reusing one sim.TrialContext across all its trials; otherwise they
 // run on the classic goroutine-backed Program path. The two paths
 // produce byte-identical outcomes.
-func RunOutcomes(b Batch) ([]Outcome, error) {
+//
+// Cancelling ctx stops the run at the next chunk boundary and
+// returns (nil, ctx.Err()): an outcome slice cannot say which trials
+// it covers, so partial results are the reducer API's job
+// (RunReduced returns the completed state plus its TrialSpans).
+func RunOutcomes(ctx context.Context, b Batch) ([]Outcome, error) {
 	spec, opts, err := b.prepare()
 	if err != nil {
 		return nil, err
 	}
 	lo, hi := b.shardSpan()
-	if b.useSteppers(spec) {
-		if width := b.laneWidth(); width > 0 {
-			out := make([]Outcome, hi-lo)
-			runLanes(b, spec, opts, width,
-				func() struct{} { return struct{}{} },
-				func(_ struct{}, trial int, o Outcome) { out[trial-lo] = o })
-			return out, nil
-		}
-		return TrialsScratch(b.Workers, hi-lo, sim.NewTrialContext, func(tc *sim.TrialContext, i int) Outcome {
-			return runStepperTrial(b, spec, opts, tc, lo+i)
-		}), nil
+	out := make([]Outcome, hi-lo)
+	switch {
+	case !b.useSteppers(spec):
+		chunkedWorkers(ctx, b.Workers, hi-lo,
+			func() struct{} { return struct{}{} },
+			func(_ struct{}, from, to int) {
+				for i := from; i < to; i++ {
+					out[i] = runTrial(b, spec, opts, lo+i)
+				}
+			})
+	case b.laneWidth() > 0:
+		runLanes(ctx, b, spec, opts, b.laneWidth(), lo, hi,
+			func() struct{} { return struct{}{} },
+			func(_ struct{}, trial int, o Outcome) { out[trial-lo] = o },
+			nil)
+	default: // legacy one-trial-at-a-time stepper path
+		chunkedWorkers(ctx, b.Workers, hi-lo, newStepperWorker,
+			func(w *stepperWorker, from, to int) {
+				for i := from; i < to; i++ {
+					out[i] = w.run(b, spec, opts, lo+i)
+				}
+			})
 	}
-	return Trials(b.Workers, hi-lo, func(i int) Outcome {
-		return runTrial(b, spec, opts, lo+i)
-	}), nil
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // laneWorker couples one worker's lockstep lane to its outcome sink.
@@ -350,30 +411,50 @@ type laneWorker[S any] struct {
 	sink S
 }
 
-// runLanes executes the batch's trials on the lockstep lane path: a
-// pool of workers, each owning one sim.TrialLane of the given width
-// and one sink, claiming trial-index chunks and streaming each
-// finished trial's Outcome into the worker's sink via emit. Emitted
-// trial indices are global (shard-offset), matching the seeds. It
-// returns every worker's sink (trial-indexed sinks write into shared
-// trial-indexed storage; reducer sinks get merged by the caller).
-// Lane width, worker count and chunk assignment never affect which
-// Outcome a trial produces.
-func runLanes[S any](b Batch, spec algo.Spec, opts algo.BuildOpts, width int, newSink func() S, emit func(sink S, trial int, o Outcome)) []S {
+// runLanes executes trials [lo, hi) of the batch on the lockstep
+// lane path: a pool of workers, each owning one sim.TrialLane of the
+// given width and one sink, claiming trial-index chunks and
+// streaming each finished trial's Outcome into the worker's sink via
+// emit. Emitted trial indices are global (shard-offset), matching
+// the seeds. After each chunk, cover (if non-nil) receives the
+// chunk's completed global range — [from, from) when a cancel struck
+// before any arm, the full chunk otherwise; the reducer path records
+// its TrialSpans coverage there. It returns every worker's sink
+// (trial-indexed sinks write into shared trial-indexed storage;
+// reducer sinks get merged by the caller). Lane width, worker count
+// and chunk assignment never affect which Outcome a trial produces.
+//
+// Cancelling ctx stops each lane at its next refill boundary (via
+// lane.Stop): resident trials drain, nothing new is armed, and the
+// pool exits at the chunk-claim boundary.
+func runLanes[S any](ctx context.Context, b Batch, spec algo.Spec, opts algo.BuildOpts, width, lo, hi int, newSink func() S, emit func(sink S, trial int, o Outcome), cover func(sink S, from, to int)) []S {
 	cfg := trialConfig(b, spec, 0) // per-trial seeds come from seedOf
 	seedOf := func(t int) uint64 { return TrialSeed(b.Seed, t) }
-	lo, hi := b.shardSpan()
-	workers := chunkedWorkers(b.Workers, hi-lo, func() *laneWorker[S] {
-		return &laneWorker[S]{
-			lane: sim.NewTrialLane(width, func() (sim.Stepper, sim.Stepper, error) {
-				return spec.Steppers(opts)
-			}),
+	build := func() (sim.Stepper, sim.Stepper, error) {
+		return spec.Steppers(opts)
+	}
+	if b.Faults != nil {
+		build = b.Faults.wrapBuilder(build)
+	}
+	workers := chunkedWorkers(ctx, b.Workers, hi-lo, func() *laneWorker[S] {
+		w := &laneWorker[S]{
+			lane: sim.NewTrialLane(width, build),
 			sink: newSink(),
 		}
+		if b.Faults != nil {
+			w.lane.Hook = faultHook{b.Faults}
+		}
+		if ctx.Done() != nil {
+			w.lane.Stop = func() bool { return ctx.Err() != nil }
+		}
+		return w
 	}, func(w *laneWorker[S], from, to int) {
-		w.lane.Run(cfg, seedOf, lo+from, lo+to, func(trial int, res *sim.Result, err error) {
+		wm := w.lane.Run(cfg, seedOf, lo+from, lo+to, func(trial int, res *sim.Result, err error) {
 			emit(w.sink, trial, OutcomeOf(res, err))
 		})
+		if cover != nil {
+			cover(w.sink, lo+from, wm)
+		}
 	})
 	sinks := make([]S, len(workers))
 	for i, w := range workers {
@@ -389,8 +470,9 @@ func (b Batch) useSteppers(spec algo.Spec) bool {
 }
 
 // Run executes the batch and streams the outcomes into an Aggregate.
-func Run(b Batch) (*Aggregate, error) {
-	outcomes, err := RunOutcomes(b)
+// Cancelling ctx returns (nil, ctx.Err()); see RunOutcomes.
+func Run(ctx context.Context, b Batch) (*Aggregate, error) {
+	outcomes, err := RunOutcomes(ctx, b)
 	if err != nil {
 		return nil, err
 	}
@@ -406,19 +488,23 @@ func AggregateOutcomes(b Batch, outcomes []Outcome) *Aggregate {
 		lo, hi := b.shardSpan()
 		agg.TrialSpans = []TrialSpan{{Lo: lo, Hi: hi}}
 	}
+	lo, _ := b.shardSpan()
+	var el errLog
 	metRounds := make([]float64, 0, len(outcomes))
 	moves := make([]float64, 0, len(outcomes))
-	for _, o := range outcomes {
+	for i, o := range outcomes {
 		if o.Met {
 			agg.Met++
 			metRounds = append(metRounds, float64(o.Rounds))
 		}
 		if o.Err {
 			agg.Errors++
+			el.note(lo+i, o.Msg)
 			continue
 		}
 		moves = append(moves, float64(o.Moves))
 	}
+	agg.FirstErrors = el.list()
 	agg.Failures = agg.Trials - agg.Met
 	if agg.Trials > 0 {
 		agg.SuccessRate = float64(agg.Met) / float64(agg.Trials)
@@ -462,6 +548,17 @@ func (b Batch) prepare() (algo.Spec, algo.BuildOpts, error) {
 		params = core.PracticalParams()
 	}
 	opts = algo.BuildOpts{Params: params, Delta: b.Delta}
+	if b.Faults != nil {
+		if err := b.Faults.validate(); err != nil {
+			return spec, opts, fmt.Errorf("engine: %w", err)
+		}
+		if !b.useSteppers(spec) {
+			// Fault wrappers interpose on steppers; the Program path
+			// has nothing to wrap, so a faulted batch routed there
+			// would silently run fault-free instead.
+			return spec, opts, errors.New("engine: fault injection requires the stepper path (strategy without steppers, or ForceProgramPath)")
+		}
+	}
 	// Pre-flight the builder the batch will actually use, so
 	// capability mismatches (for example "noboard" without Delta)
 	// fail before any worker starts. The probe pair never runs, so
@@ -494,14 +591,48 @@ func trialConfig(b Batch, spec algo.Spec, trial int) sim.Config {
 }
 
 // runTrial executes one trial of the batch on the goroutine-backed
-// Program path.
-func runTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, trial int) Outcome {
+// Program path. A panic on the calling goroutine (a panicking
+// builder, or the simulator's own machinery) is isolated as the
+// trial's error outcome; the Program path keeps no cross-trial
+// scratch, so there is nothing to quarantine.
+func runTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, trial int) (o Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o = errOutcome(sim.PanicError(r))
+		}
+	}()
 	progA, progB, err := spec.Programs(opts)
 	if err != nil {
-		return Outcome{Err: true}
+		return errOutcome(err)
 	}
 	res, err := sim.Run(trialConfig(b, spec, trial), progA, progB)
 	return OutcomeOf(res, err)
+}
+
+// stepperWorker is the per-worker scratch of the legacy
+// one-trial-at-a-time stepper path: one sim.TrialContext reused
+// across the worker's trials, plus the panic quarantine that reuse
+// obliges. It exists so runStepperTrial itself can stay panic-free
+// and directly testable.
+type stepperWorker struct {
+	tc *sim.TrialContext
+}
+
+func newStepperWorker() *stepperWorker { return &stepperWorker{tc: sim.NewTrialContext()} }
+
+// run executes one trial, isolating a panic as the trial's error
+// outcome. A panicking trial may have left the worker's TrialContext
+// scratch (whiteboard array, RNG streams, walker tables) in any
+// state, so the context is quarantined — replaced wholesale, exactly
+// like a poisoned lane slot — and never re-armed.
+func (w *stepperWorker) run(b Batch, spec algo.Spec, opts algo.BuildOpts, trial int) (o Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.tc = sim.NewTrialContext()
+			o = errOutcome(sim.PanicError(r))
+		}
+	}()
+	return runStepperTrial(b, spec, opts, w.tc, trial)
 }
 
 // runStepperTrial executes one trial on the stepper fast path,
@@ -513,11 +644,20 @@ func runTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, trial int) Outcome {
 // scratch is re-armed by the next successful run), and the trial
 // counts as an error outcome.
 func runStepperTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, tc *sim.TrialContext, trial int) Outcome {
+	if f := b.Faults; f != nil {
+		if err := f.armError(trial); err != nil {
+			return errOutcome(err)
+		}
+	}
 	stA, stB, err := spec.Steppers(opts)
 	if err != nil {
 		sim.Finish(stA)
 		sim.Finish(stB)
-		return Outcome{Err: true}
+		return errOutcome(err)
+	}
+	if f := b.Faults; f != nil {
+		stA, stB = wrapFault(stA), wrapFault(stB)
+		f.armSteppers(trial, stA, stB)
 	}
 	res, err := tc.RunSteppers(trialConfig(b, spec, trial), stA, stB)
 	return OutcomeOf(res, err)
@@ -528,7 +668,7 @@ func runStepperTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, tc *sim.Trial
 // experiment harness.
 func OutcomeOf(res *sim.Result, err error) Outcome {
 	if err != nil {
-		return Outcome{Err: true}
+		return errOutcome(err)
 	}
 	out := Outcome{Moves: res.A.Moves + res.B.Moves}
 	if res.Met {

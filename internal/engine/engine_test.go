@@ -40,7 +40,7 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 		for _, workers := range []int{1, 8} {
 			b := base
 			b.Workers = workers
-			agg, err := Run(b)
+			agg, err := Run(t.Context(), b)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", name, workers, err)
 			}
@@ -62,7 +62,7 @@ func TestOutcomesMatchTrialSeeds(t *testing.T) {
 		Graph: g, StartA: sa, StartB: sb,
 		Algorithm: "sweep", Trials: 10, Seed: 5, Workers: 4,
 	}
-	outcomes, err := RunOutcomes(b)
+	outcomes, err := RunOutcomes(t.Context(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestOutcomesMatchTrialSeeds(t *testing.T) {
 	// (seeds derive from the index), but re-running the whole batch
 	// serially must reproduce every entry.
 	b.Workers = 1
-	again, err := RunOutcomes(b)
+	again, err := RunOutcomes(t.Context(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestOutcomesMatchTrialSeeds(t *testing.T) {
 // without Delta must fail up front with the sentinel error.
 func TestCapabilityMismatch(t *testing.T) {
 	g, sa, sb := testGraph(t)
-	_, err := Run(Batch{
+	_, err := Run(t.Context(), Batch{
 		Graph: g, StartA: sa, StartB: sb,
 		Algorithm: "noboard", Trials: 4, Seed: 1,
 	})
@@ -105,7 +105,7 @@ func TestCapabilityMismatch(t *testing.T) {
 
 func TestUnknownAlgorithm(t *testing.T) {
 	g, sa, sb := testGraph(t)
-	_, err := Run(Batch{Graph: g, StartA: sa, StartB: sb, Algorithm: "nope", Trials: 1})
+	_, err := Run(t.Context(), Batch{Graph: g, StartA: sa, StartB: sb, Algorithm: "nope", Trials: 1})
 	if !errors.Is(err, algo.ErrUnknown) {
 		t.Fatalf("err = %v, want ErrUnknown", err)
 	}
@@ -120,7 +120,7 @@ func TestBatchValidation(t *testing.T) {
 		{Graph: g, StartA: sa, StartB: graph.Vertex(g.N()), Algorithm: "sweep", Trials: 1},
 	}
 	for i, b := range cases {
-		if _, err := Run(b); err == nil {
+		if _, err := Run(t.Context(), b); err == nil {
 			t.Errorf("case %d: invalid batch accepted", i)
 		}
 	}
@@ -131,7 +131,7 @@ func TestBatchValidation(t *testing.T) {
 // with an error that names the problem.
 func TestEqualStartsRejected(t *testing.T) {
 	g, sa, _ := testGraph(t)
-	_, err := Run(Batch{Graph: g, StartA: sa, StartB: sa, Algorithm: "sweep", Trials: 4, Seed: 1})
+	_, err := Run(t.Context(), Batch{Graph: g, StartA: sa, StartB: sa, Algorithm: "sweep", Trials: 4, Seed: 1})
 	if err == nil {
 		t.Fatal("StartA == StartB accepted")
 	}
@@ -139,7 +139,7 @@ func TestEqualStartsRejected(t *testing.T) {
 		t.Fatalf("err = %v, want a distinct-start-vertices error", err)
 	}
 	// RunOutcomes goes through the same validation.
-	if _, err := RunOutcomes(Batch{Graph: g, StartA: sa, StartB: sa, Algorithm: "sweep", Trials: 4, Seed: 1}); err == nil {
+	if _, err := RunOutcomes(t.Context(), Batch{Graph: g, StartA: sa, StartB: sa, Algorithm: "sweep", Trials: 4, Seed: 1}); err == nil {
 		t.Fatal("RunOutcomes accepted StartA == StartB")
 	}
 }
@@ -222,7 +222,7 @@ func TestAggregateCounts(t *testing.T) {
 	g, sa, sb := testGraph(t)
 	// walkpair with a tiny budget: misses must be counted as failures
 	// and excluded from the rounds distribution.
-	agg, err := Run(Batch{
+	agg, err := Run(t.Context(), Batch{
 		Graph: g, StartA: sa, StartB: sb,
 		Algorithm: "walkpair", Trials: 8, Seed: 3, MaxRounds: 1,
 	})
@@ -263,7 +263,7 @@ func TestTrialsChunkedClaimOrdering(t *testing.T) {
 		n := 3*claimChunk + 5
 		var mu sync.Mutex
 		seen := make([]int, n)
-		scratches := chunkedWorkers(workers, n, func() int { return 0 }, func(_ int, from, to int) {
+		scratches := chunkedWorkers(t.Context(), workers, n, func() int { return 0 }, func(_ int, from, to int) {
 			mu.Lock()
 			defer mu.Unlock()
 			for i := from; i < to; i++ {

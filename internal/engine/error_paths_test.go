@@ -38,6 +38,22 @@ func (s *vandalStepper) Next(v *sim.View) sim.Action {
 	return sim.Stay().WithWrite(424242)
 }
 
+// panickingStepper dirties scratch like the vandal, then panics out
+// of Next entirely — the worst a trial can do to its worker.
+type panickingStepper struct{ rounds int }
+
+func (s *panickingStepper) Init(ctx *sim.StepContext) {
+	ctx.Scratch.Set("panic junk")
+}
+
+func (s *panickingStepper) Next(v *sim.View) sim.Action {
+	if s.rounds <= 0 {
+		panic("deliberate mid-batch panic")
+	}
+	s.rounds--
+	return sim.Stay().WithWrite(171717)
+}
+
 // TestBuilderErrorMidBatchLeavesWorkerContextClean is the satellite
 // gate for engine batch error paths: a stepper-builder error (or an
 // aborting, whiteboard-scribbling, scratch-poisoning trial) in the
@@ -112,6 +128,70 @@ func TestBuilderErrorMidBatchLeavesWorkerContextClean(t *testing.T) {
 		}
 		if string(cleanAgg) != string(dirtyAgg) {
 			t.Errorf("%s: aggregate JSON diverged after an error-then-retry batch:\nclean: %s\ndirty: %s",
+				name, cleanAgg, dirtyAgg)
+		}
+	}
+}
+
+// TestPanicMidBatchQuarantinesWorkerContext extends the mid-batch
+// hygiene gate to panics: a trial that scribbles on its TrialContext
+// and then panics out of Next must surface as an error outcome
+// carrying the panic message, the worker's poisoned context must be
+// quarantined (rebuilt, never re-armed), and every subsequent trial
+// must reproduce the clean batch byte for byte.
+func TestPanicMidBatchQuarantinesWorkerContext(t *testing.T) {
+	g, sa, sb := testGraph(t)
+	for _, name := range []string{"whiteboard", "noboard"} {
+		base := Batch{
+			Graph: g, StartA: sa, StartB: sb,
+			Algorithm: name, Delta: g.MinDegree(),
+			Trials: 6, Seed: 5, MaxRounds: 1 << 22, Workers: 1,
+		}
+		spec, opts, err := base.prepare()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		clean := newStepperWorker()
+		var cleanOut []Outcome
+		for i := 0; i < base.Trials; i++ {
+			cleanOut = append(cleanOut, clean.run(base, spec, opts, i))
+		}
+
+		panicSpec := algo.Spec{
+			Name: "panicker", Caps: algo.Caps{NeighborIDs: true, Whiteboards: true}, Build: spec.Build,
+			BuildSteppers: func(algo.BuildOpts) (sim.Stepper, sim.Stepper, error) {
+				return &panickingStepper{rounds: 3}, &panickingStepper{rounds: 5}, nil
+			},
+		}
+		dirty := newStepperWorker()
+		var dirtyOut []Outcome
+		dirtyOut = append(dirtyOut, dirty.run(base, spec, opts, 0))
+		before := dirty.tc
+		out := dirty.run(base, panicSpec, opts, 99)
+		if !out.Err {
+			t.Fatalf("%s: panicking trial did not produce an error outcome: %+v", name, out)
+		}
+		if want := "sim: trial panicked: deliberate mid-batch panic"; out.Msg != want {
+			t.Errorf("%s: panic outcome message %q, want %q", name, out.Msg, want)
+		}
+		if dirty.tc == before {
+			t.Errorf("%s: worker kept its TrialContext across a panic — poisoned state can leak", name)
+		}
+		for i := 1; i < base.Trials; i++ {
+			dirtyOut = append(dirtyOut, dirty.run(base, spec, opts, i))
+		}
+
+		for i := range cleanOut {
+			if cleanOut[i] != dirtyOut[i] {
+				t.Errorf("%s trial %d: outcome diverged after a mid-batch panic: clean %+v vs dirty %+v",
+					name, i, cleanOut[i], dirtyOut[i])
+			}
+		}
+		cleanAgg, _ := json.Marshal(AggregateOutcomes(base, cleanOut))
+		dirtyAgg, _ := json.Marshal(AggregateOutcomes(base, dirtyOut))
+		if string(cleanAgg) != string(dirtyAgg) {
+			t.Errorf("%s: aggregate JSON diverged after a panic-then-retry batch:\nclean: %s\ndirty: %s",
 				name, cleanAgg, dirtyAgg)
 		}
 	}

@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"slices"
+	"strconv"
+	"strings"
 
-	"fnr/internal/sim"
+	"fnr/internal/algo"
 )
 
 // This file is the bounded-memory aggregation path: per-worker
@@ -42,6 +45,7 @@ type TrialSpan struct {
 type Reducer struct {
 	trials, met, errors int
 	rounds, moves       distCounter
+	errs                errLog
 	spans               []TrialSpan
 }
 
@@ -51,8 +55,9 @@ func NewReducer() *Reducer { return &Reducer{} }
 
 // Add absorbs one trial's outcome, mirroring AggregateOutcomes'
 // per-outcome bookkeeping: meeting rounds over met trials, move
-// totals over non-erroring trials.
-func (r *Reducer) Add(o Outcome) {
+// totals over non-erroring trials, error detail by global trial
+// index (which is what keeps FirstErrors scheduling-independent).
+func (r *Reducer) Add(trial int, o Outcome) {
 	r.trials++
 	if o.Met {
 		r.met++
@@ -60,24 +65,46 @@ func (r *Reducer) Add(o Outcome) {
 	}
 	if o.Err {
 		r.errors++
+		r.errs.note(trial, o.Msg)
 		return
 	}
 	r.moves.add(o.Moves, 1)
 }
 
+// reset empties the reducer, keeping its grown tables' capacity — the
+// per-chunk flush cadence of the checkpoint path would otherwise
+// reallocate every table every 64 trials.
+func (r *Reducer) reset() {
+	r.trials, r.met, r.errors = 0, 0, 0
+	r.rounds.reset()
+	r.moves.reset()
+	r.errs.entries = r.errs.entries[:0]
+	r.spans = r.spans[:0]
+}
+
 // AddSpan records that this reducer covers the global trial range
-// [lo, hi) of a sharded batch — metadata Merge coalesces and
-// Aggregate reports through TrialSpans. Reducers of unsharded runs
-// carry no spans.
+// [lo, hi). The spans list is kept as an arbitrary (possibly
+// overlapping, unsorted) cover and only coalesced on read — every
+// execution path calls AddSpan once per 64-trial chunk, and a
+// 10M-trial run making each add re-sort the list would turn
+// bookkeeping into the bottleneck. The common case (a worker
+// claiming adjacent chunks) still collapses on the spot.
 func (r *Reducer) AddSpan(lo, hi int) {
-	if lo < hi {
-		r.spans = coalesceSpans(append(r.spans, TrialSpan{Lo: lo, Hi: hi}))
+	if lo >= hi {
+		return
 	}
+	if n := len(r.spans); n > 0 && r.spans[n-1].Hi == lo {
+		r.spans[n-1].Hi = hi
+		return
+	}
+	r.spans = append(r.spans, TrialSpan{Lo: lo, Hi: hi})
 }
 
 // Spans returns the coalesced global trial ranges this reducer
-// covers (nil for an unsharded reducer).
-func (r *Reducer) Spans() []TrialSpan { return slices.Clone(r.spans) }
+// covers (nil for an empty reducer).
+func (r *Reducer) Spans() []TrialSpan {
+	return coalesceSpans(slices.Clone(r.spans))
+}
 
 // coalesceSpans sorts spans by Lo and fuses adjacent or overlapping
 // ranges, so k shards' [i·T/k, (i+1)·T/k) spans merge to [0, T).
@@ -104,18 +131,28 @@ func coalesceSpans(spans []TrialSpan) []TrialSpan {
 func Merge(parts ...*Reducer) *Reducer {
 	m := NewReducer()
 	for _, p := range parts {
-		if p == nil {
-			continue
-		}
-		m.trials += p.trials
-		m.met += p.met
-		m.errors += p.errors
-		m.rounds.merge(&p.rounds)
-		m.moves.merge(&p.moves)
-		m.spans = append(m.spans, p.spans...)
+		m.mergeFrom(p)
 	}
 	m.spans = coalesceSpans(m.spans)
 	return m
+}
+
+// mergeFrom folds another reducer's state into this one in place —
+// the journal path's hot merge (called once per chunk under a lock,
+// so it appends spans uncoalesced; see AddSpan). Safe on nil.
+func (r *Reducer) mergeFrom(p *Reducer) {
+	if p == nil {
+		return
+	}
+	r.trials += p.trials
+	r.met += p.met
+	r.errors += p.errors
+	r.rounds.merge(&p.rounds)
+	r.moves.merge(&p.moves)
+	r.errs.mergeFrom(&p.errs)
+	for _, s := range p.spans {
+		r.AddSpan(s.Lo, s.Hi)
+	}
 }
 
 // Aggregate emits the batch summary from the reduced state — the
@@ -135,9 +172,13 @@ func (r *Reducer) Aggregate(b Batch) *Aggregate {
 	}
 	agg.Rounds = r.rounds.dist()
 	agg.Moves = r.moves.dist()
-	// A complete merge — spans covering all of [0, Trials) — drops the
-	// metadata, so k shards merged back together emit byte-identical
-	// JSON to the unsharded run.
+	agg.FirstErrors = r.errs.list()
+	// A complete reducer — spans covering all of [0, Trials) — drops
+	// the metadata, so k shards merged back together (or a resumed
+	// run that reached the end) emit byte-identical JSON to the
+	// unsharded, uninterrupted run. Spans are tracked per chunk, so
+	// coalesce before deciding.
+	r.spans = coalesceSpans(r.spans)
 	if !(len(r.spans) == 1 && r.spans[0] == (TrialSpan{Lo: 0, Hi: b.Trials})) {
 		agg.TrialSpans = slices.Clone(r.spans)
 	}
@@ -150,8 +191,10 @@ func (r *Reducer) Aggregate(b Batch) *Aggregate {
 // what makes 10M-trial batches practical. Results are deterministic
 // at any worker count, lane width and path choice; see the file
 // comment for the one documented Mean-rounding divergence from Run.
-func RunStreaming(b Batch) (*Aggregate, error) {
-	r, err := RunReduced(b)
+// Cancelling ctx returns (nil, ctx.Err()); callers that want the
+// partial state use RunReduced.
+func RunStreaming(ctx context.Context, b Batch) (*Aggregate, error) {
+	r, err := RunReduced(ctx, b)
 	if err != nil {
 		return nil, err
 	}
@@ -164,46 +207,87 @@ func RunStreaming(b Batch) (*Aggregate, error) {
 // Batch, different ShardIndex) in its own process, Merge the
 // reducers, and Aggregate the merge; the result is byte-identical to
 // the unsharded streaming run, mean included (the multiset mean is
-// partition-independent). A sharded reducer carries its coverage in
+// partition-independent). A reducer carries its trial coverage in
 // Spans.
-func RunReduced(b Batch) (*Reducer, error) {
+//
+// Cancelling ctx stops the run at the next chunk boundary and
+// returns the reducer state completed so far TOGETHER WITH ctx.Err():
+// every trial the reducer absorbed is listed in its Spans, nothing
+// half-run is included, and no goroutine outlives the call — the
+// partial reducer can be checkpointed and later resumed (see
+// RunCheckpointed) or merged with a rerun of the uncovered ranges.
+func RunReduced(ctx context.Context, b Batch) (*Reducer, error) {
 	spec, opts, err := b.prepare()
 	if err != nil {
 		return nil, err
 	}
 	lo, hi := b.shardSpan()
-	var parts []*Reducer
+	m := Merge(runReducedRange(ctx, b, spec, opts, lo, hi, nil)...)
+	return m, ctx.Err()
+}
+
+// chunkCollector is the per-worker sink of the reduced execution
+// paths: outcomes accumulate into r, and endChunk stamps each
+// completed chunk's trial-span coverage. In journal mode (out
+// non-nil) the collector instead flushes r to the shared journal
+// after every chunk and starts empty, so worker-local state stays
+// one chunk deep and a crash loses at most the chunks not yet
+// absorbed; in plain mode (out nil) r simply grows and the caller
+// merges the workers' parts — no locks anywhere near the hot loop.
+type chunkCollector struct {
+	r   *Reducer
+	out func(*Reducer)
+	sw  *stepperWorker // legacy per-trial stepper path only
+}
+
+func (c *chunkCollector) endChunk(from, to int) {
+	c.r.AddSpan(from, to)
+	if c.out != nil {
+		c.out(c.r)
+		c.r.reset()
+	}
+}
+
+// runReducedRange executes global trials [lo, hi) of the batch on
+// whichever path the batch selects, reducing per worker, and returns
+// the workers' reducer parts (empty husks in journal mode — the data
+// went to out). Coverage spans are stamped per completed chunk, so a
+// cancelled run's parts say exactly which trials they absorbed.
+func runReducedRange(ctx context.Context, b Batch, spec algo.Spec, opts algo.BuildOpts, lo, hi int, out func(*Reducer)) []*Reducer {
+	newCollector := func() *chunkCollector { return &chunkCollector{r: NewReducer(), out: out} }
+	var cs []*chunkCollector
 	switch {
-	case b.useSteppers(spec) && b.laneWidth() > 0:
-		parts = runLanes(b, spec, opts, b.laneWidth(), NewReducer,
-			func(r *Reducer, _ int, o Outcome) { r.Add(o) })
-	case b.useSteppers(spec):
-		type scratch struct {
-			tc *sim.TrialContext
-			r  *Reducer
-		}
-		for _, s := range chunkedWorkers(b.Workers, hi-lo, func() *scratch {
-			return &scratch{tc: sim.NewTrialContext(), r: NewReducer()}
-		}, func(s *scratch, from, to int) {
-			for i := from; i < to; i++ {
-				s.r.Add(runStepperTrial(b, spec, opts, s.tc, lo+i))
-			}
-		}) {
-			parts = append(parts, s.r)
-		}
-	default:
-		parts = chunkedWorkers(b.Workers, hi-lo, NewReducer,
-			func(r *Reducer, from, to int) {
+	case !b.useSteppers(spec):
+		cs = chunkedWorkers(ctx, b.Workers, hi-lo, newCollector,
+			func(c *chunkCollector, from, to int) {
 				for i := from; i < to; i++ {
-					r.Add(runTrial(b, spec, opts, lo+i))
+					c.r.Add(lo+i, runTrial(b, spec, opts, lo+i))
 				}
+				c.endChunk(lo+from, lo+to)
+			})
+	case b.laneWidth() > 0:
+		cs = runLanes(ctx, b, spec, opts, b.laneWidth(), lo, hi, newCollector,
+			func(c *chunkCollector, trial int, o Outcome) { c.r.Add(trial, o) },
+			func(c *chunkCollector, from, to int) { c.endChunk(from, to) })
+	default: // legacy one-trial-at-a-time stepper path
+		cs = chunkedWorkers(ctx, b.Workers, hi-lo,
+			func() *chunkCollector {
+				c := newCollector()
+				c.sw = newStepperWorker()
+				return c
+			},
+			func(c *chunkCollector, from, to int) {
+				for i := from; i < to; i++ {
+					c.r.Add(lo+i, c.sw.run(b, spec, opts, lo+i))
+				}
+				c.endChunk(lo+from, lo+to)
 			})
 	}
-	m := Merge(parts...)
-	if b.sharded() {
-		m.AddSpan(b.shardSpan())
+	parts := make([]*Reducer, len(cs))
+	for i, c := range cs {
+		parts[i] = c.r
 	}
-	return m, nil
+	return parts
 }
 
 // distCounter is a sorted value → count table: the bounded
@@ -213,6 +297,11 @@ type distCounter struct {
 	vals   []int64
 	counts []int64
 	n      int64
+}
+
+// reset empties the counter, keeping table capacity.
+func (d *distCounter) reset() {
+	d.vals, d.counts, d.n = d.vals[:0], d.counts[:0], 0
 }
 
 // add records c occurrences of v.
@@ -292,4 +381,83 @@ func (d *distCounter) rank(r int64) int64 {
 		}
 	}
 	return d.vals[len(d.vals)-1]
+}
+
+// maxFirstErrors bounds Aggregate.FirstErrors: enough distinct
+// messages to diagnose a failing batch, small enough that error
+// bookkeeping stays O(1) per erroring trial.
+const maxFirstErrors = 5
+
+// errEntry is one distinct error message with the lowest global
+// trial index observed carrying it.
+type errEntry struct {
+	trial int
+	msg   string
+}
+
+// errLog keeps the maxFirstErrors distinct error messages with the
+// lowest trial indices — deterministically, no matter in which order
+// the trials arrive or how they were partitioned across workers,
+// lanes or shards. The exactness argument: an entry that belongs in
+// the true top-K can only be rejected if K distinct messages with
+// strictly lower current indices are resident, and resident indices
+// never undercut their messages' true minima — so K messages with
+// lower true minima would exist, contradicting membership. The same
+// argument makes bounded per-part logs merge exactly: a globally
+// top-K message is top-K in the part holding its global minimum.
+type errLog struct {
+	entries []errEntry // sorted by (trial, msg), ≤ maxFirstErrors long
+}
+
+// note records that the trial erred with the given message. Empty
+// messages (hand-built Outcomes) carry no diagnostic value and are
+// skipped; Aggregate.Errors still counts them.
+func (l *errLog) note(trial int, msg string) {
+	if msg == "" {
+		return
+	}
+	for i, e := range l.entries {
+		if e.msg != msg {
+			continue
+		}
+		if trial >= e.trial {
+			return
+		}
+		l.entries = slices.Delete(l.entries, i, i+1)
+		break
+	}
+	at, _ := slices.BinarySearchFunc(l.entries, errEntry{trial, msg}, cmpErrEntry)
+	if at >= maxFirstErrors {
+		return
+	}
+	l.entries = slices.Insert(l.entries, at, errEntry{trial, msg})
+	if len(l.entries) > maxFirstErrors {
+		l.entries = l.entries[:maxFirstErrors]
+	}
+}
+
+func cmpErrEntry(a, b errEntry) int {
+	if a.trial != b.trial {
+		return a.trial - b.trial
+	}
+	return strings.Compare(a.msg, b.msg)
+}
+
+// mergeFrom folds another log's entries into this one.
+func (l *errLog) mergeFrom(o *errLog) {
+	for _, e := range o.entries {
+		l.note(e.trial, e.msg)
+	}
+}
+
+// list renders the log for Aggregate.FirstErrors (nil when empty).
+func (l *errLog) list() []string {
+	if len(l.entries) == 0 {
+		return nil
+	}
+	out := make([]string, len(l.entries))
+	for i, e := range l.entries {
+		out[i] = "trial " + strconv.Itoa(e.trial) + ": " + e.msg
+	}
+	return out
 }

@@ -24,11 +24,11 @@ func TestRunStreamingMatchesRun(t *testing.T) {
 			Algorithm: name, Delta: g.MinDegree(),
 			Trials: 40, Seed: 99, MaxRounds: 1 << 22,
 		}
-		want, err := Run(b)
+		want, err := Run(t.Context(), b)
 		if err != nil {
 			t.Fatalf("%s Run: %v", name, err)
 		}
-		got, err := RunStreaming(b)
+		got, err := RunStreaming(t.Context(), b)
 		if err != nil {
 			t.Fatalf("%s RunStreaming: %v", name, err)
 		}
@@ -68,7 +68,7 @@ func TestRunStreamingDeterministicAcrossWorkersAndWidths(t *testing.T) {
 				b := base
 				b.Workers = workers
 				b.LaneWidth = width
-				agg, err := RunStreaming(b)
+				agg, err := RunStreaming(t.Context(), b)
 				if err != nil {
 					t.Fatalf("%s workers=%d width=%d: %v", name, workers, width, err)
 				}
@@ -89,7 +89,7 @@ func TestRunStreamingDeterministicAcrossWorkersAndWidths(t *testing.T) {
 		// The Program path reduces to the same bytes too.
 		b := base
 		b.ForceProgramPath = true
-		agg, err := RunStreaming(b)
+		agg, err := RunStreaming(t.Context(), b)
 		if err != nil {
 			t.Fatalf("%s program path: %v", name, err)
 		}
@@ -125,8 +125,10 @@ func TestMergePartitionInvariance(t *testing.T) {
 		rs := make([]*Reducer, len(parts))
 		for i, part := range parts {
 			rs[i] = NewReducer()
-			for _, o := range part {
-				rs[i].Add(o)
+			// Outcomes here carry no error messages, so the trial
+			// index handed to Add is irrelevant to the merge.
+			for j, o := range part {
+				rs[i].Add(j, o)
 			}
 		}
 		blob, err := json.Marshal(Merge(rs...).Aggregate(b))

@@ -18,7 +18,7 @@ func TestShardedOutcomesConcatenateToUnsharded(t *testing.T) {
 		Algorithm: "whiteboard", Delta: g.MinDegree(),
 		Trials: 23, Seed: 77, MaxRounds: 1 << 22,
 	}
-	want, err := RunOutcomes(base)
+	want, err := RunOutcomes(t.Context(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestShardedOutcomesConcatenateToUnsharded(t *testing.T) {
 		for i := 0; i < k; i++ {
 			b := base
 			b.ShardIndex, b.ShardCount = i, k
-			out, err := RunOutcomes(b)
+			out, err := RunOutcomes(t.Context(), b)
 			if err != nil {
 				t.Fatalf("shard %d/%d: %v", i, k, err)
 			}
@@ -56,7 +56,7 @@ func TestShardedReducersMergeToUnshardedAggregate(t *testing.T) {
 		Algorithm: "sweep", Delta: g.MinDegree(),
 		Trials: 30, Seed: 5, MaxRounds: 1 << 22,
 	}
-	want, err := RunStreaming(base)
+	want, err := RunStreaming(t.Context(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestShardedReducersMergeToUnshardedAggregate(t *testing.T) {
 	for i := range parts {
 		b := base
 		b.ShardIndex, b.ShardCount = i, k
-		if parts[i], err = RunReduced(b); err != nil {
+		if parts[i], err = RunReduced(t.Context(), b); err != nil {
 			t.Fatalf("shard %d/%d: %v", i, k, err)
 		}
 	}
@@ -112,14 +112,14 @@ func TestShardValidation(t *testing.T) {
 	} {
 		b := base
 		b.ShardIndex, b.ShardCount = bad.index, bad.count
-		if _, err := RunOutcomes(b); err == nil {
+		if _, err := RunOutcomes(t.Context(), b); err == nil {
 			t.Errorf("shard %d/%d accepted", bad.index, bad.count)
 		}
 	}
 	// Count 1 with index 0 is the explicit unsharded spelling.
 	b := base
 	b.ShardCount = 1
-	if _, err := RunOutcomes(b); err != nil {
+	if _, err := RunOutcomes(t.Context(), b); err != nil {
 		t.Errorf("shard 0/1 rejected: %v", err)
 	}
 }

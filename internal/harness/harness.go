@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -125,7 +126,7 @@ func runTrials[T any](cfg Config, batchSeed uint64, f func(trial int, seed uint6
 // runAlgo submits one batch of a registered algorithm to the engine
 // and returns the per-trial outcomes.
 func runAlgo(cfg Config, trials int, batchSeed uint64, g *graph.Graph, sa, sb graph.Vertex, name string, delta int, maxRounds int64) ([]engine.Outcome, error) {
-	return engine.RunOutcomes(engine.Batch{
+	return engine.RunOutcomes(context.Background(), engine.Batch{
 		Graph:      g,
 		StartA:     sa,
 		StartB:     sb,

@@ -27,6 +27,16 @@ import "errors"
 // A TrialLane is not safe for concurrent use; give each worker
 // goroutine its own.
 type TrialLane struct {
+	// Stop, if set, is polled at every refill boundary: once it
+	// returns true the lane arms no further trials, drains the trials
+	// already resident (a stop never tears a trial mid-flight), and
+	// Run returns its watermark. The engine's cancellation plumbing
+	// sets it to a context check.
+	Stop func() bool
+	// Hook, if set, observes every slot arm (see ArmHook) — the
+	// engine's fault-injection seam.
+	Hook ArmHook
+
 	build    func() (Stepper, Stepper, error)
 	canReset bool // both steppers implement Reusable (set at first build)
 
@@ -41,6 +51,19 @@ type TrialLane struct {
 	res      []Result
 
 	live int
+}
+
+// ArmHook intercepts slot arming, once per trial. PreArm runs before
+// the slot is touched: a non-nil error skips the trial entirely and
+// surfaces as that trial's error outcome (how the engine injects
+// deterministic builder faults). PostArm runs after a successful arm
+// with the steppers that will execute the trial — the seam through
+// which per-trial fault state reaches stepper wrappers the lane built
+// once and re-arms many times. Hooks must be deterministic in the
+// trial index alone; the lane calls them from its Run loop only.
+type ArmHook interface {
+	PreArm(trial int) error
+	PostArm(trial int, a, b Stepper)
 }
 
 // NewTrialLane returns a lane of the given width (clamped to ≥ 1)
@@ -80,18 +103,27 @@ func (l *TrialLane) Width() int { return len(l.trial) }
 //
 // Run may be called repeatedly on one lane (the engine calls it once
 // per claimed chunk); steppers and scratch stay warm across calls.
-func (l *TrialLane) Run(cfg Config, seedOf func(trial int) uint64, from, to int, emit func(trial int, res *Result, err error)) {
+//
+// Run returns its watermark: the first trial index of [from, to) it
+// did not run — to when the range completed, and the first un-armed
+// index when Stop ended the run early. Every trial below the
+// watermark was emitted exactly once (resident trials drain before
+// Run returns); no trial at or above it was touched.
+func (l *TrialLane) Run(cfg Config, seedOf func(trial int) uint64, from, to int, emit func(trial int, res *Result, err error)) int {
 	if from < 0 {
 		from = 0
 	}
 	if from >= to {
-		return
+		return from
+	}
+	if l.Stop != nil && l.Stop() {
+		return from
 	}
 	if err := cfg.validate(); err != nil {
 		for t := from; t < to; t++ {
 			emit(t, nil, err)
 		}
-		return
+		return to
 	}
 	next := from
 	for s := range l.trial {
@@ -103,7 +135,7 @@ func (l *TrialLane) Run(cfg Config, seedOf func(trial int) uint64, from, to int,
 			if t < 0 {
 				continue
 			}
-			done, err := l.tcs[s].rt.tick(&l.res[s])
+			done, err := l.tickSlot(s)
 			if !done {
 				continue
 			}
@@ -117,26 +149,83 @@ func (l *TrialLane) Run(cfg Config, seedOf func(trial int) uint64, from, to int,
 			next = l.refill(s, cfg, seedOf, next, to, emit)
 		}
 	}
+	return next
+}
+
+// tickSlot advances slot s by one runtime tick, converting a stepper
+// panic into the trial's error and quarantining the slot: a panicking
+// Next may have left the slot's steppers and TrialContext scratch in
+// any state, so neither is ever re-armed — the pair is finished
+// (panic-tolerantly) and the context rebuilt fresh.
+func (l *TrialLane) tickSlot(s int) (done bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			l.quarantine(s)
+			done, err = true, PanicError(r)
+		}
+	}()
+	return l.tcs[s].rt.tick(&l.res[s])
 }
 
 // refill arms slot s with successive trials starting at next until
 // one arms successfully or the range [next, to) drains, emitting an
-// error outcome for every trial whose arm failed (builder errors —
-// exactly how the one-at-a-time path surfaces them). It returns the
-// new next.
+// error outcome for every trial whose arm failed (builder errors and
+// PreArm vetoes — exactly how the one-at-a-time path surfaces them).
+// It returns the new next. A Stop request is honored here, at the
+// refill boundary: the slot is simply left empty.
 func (l *TrialLane) refill(s int, cfg Config, seedOf func(int) uint64, next, to int, emit func(int, *Result, error)) int {
+	if l.Stop != nil && l.Stop() {
+		return next
+	}
 	for next < to {
 		t := next
 		next++
-		if err := l.arm(s, cfg, seedOf(t)); err != nil {
+		if l.Hook != nil {
+			if err := l.Hook.PreArm(t); err != nil {
+				emit(t, nil, err)
+				continue
+			}
+		}
+		if err := l.armSlot(s, cfg, seedOf(t)); err != nil {
 			emit(t, nil, err)
 			continue
+		}
+		if l.Hook != nil {
+			l.Hook.PostArm(t, l.steppers[s][0], l.steppers[s][1])
 		}
 		l.trial[s] = t
 		l.live++
 		break
 	}
 	return next
+}
+
+// armSlot is arm with panic isolation: a panicking builder, Init or
+// Reset quarantines the slot and surfaces as the trial's error.
+func (l *TrialLane) armSlot(s int, cfg Config, seed uint64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			l.quarantine(s)
+			err = PanicError(r)
+		}
+	}()
+	return l.arm(s, cfg, seed)
+}
+
+// quarantine abandons slot s's possibly-poisoned state after a panic:
+// the stepper pair is finished (tolerating Finish itself panicking)
+// and never re-armed, and the slot's TrialContext — whiteboard array,
+// RNG state, agent scratch, runtime — is replaced wholesale, so
+// nothing a panicking trial touched can influence a later trial.
+func (l *TrialLane) quarantine(s int) {
+	if l.built[s] {
+		safeFinish(l.steppers[s][0])
+		safeFinish(l.steppers[s][1])
+	}
+	l.built[s] = false
+	l.steppers[s] = [2]Stepper{}
+	l.trial[s] = -1
+	l.tcs[s] = NewTrialContext()
 }
 
 // arm readies slot s for one trial: Reset the resident pair when the
@@ -172,13 +261,15 @@ func (l *TrialLane) arm(s int, cfg Config, seed uint64) error {
 
 // Close finishes every built stepper pair and empties the lane. The
 // lane remains usable afterwards (slots rebuild on the next Run).
+// Teardown tolerates a Finish panic (a stopped run may leave slots
+// whose steppers were abandoned mid-trial).
 func (l *TrialLane) Close() {
 	for s := range l.steppers {
 		if !l.built[s] {
 			continue
 		}
-		Finish(l.steppers[s][0])
-		Finish(l.steppers[s][1])
+		safeFinish(l.steppers[s][0])
+		safeFinish(l.steppers[s][1])
 		l.built[s] = false
 		l.steppers[s] = [2]Stepper{}
 		l.trial[s] = -1

@@ -172,6 +172,160 @@ func TestLaneNilStepperBuilder(t *testing.T) {
 	}
 }
 
+// armedPanicStepper is a reusable walk stepper that panics out of
+// Next when its fire flag is set — armed per trial through the lane's
+// PostArm hook, the way the engine's fault wrappers work.
+type armedPanicStepper struct {
+	reusableWalkStepper
+	fire bool
+}
+
+func (s *armedPanicStepper) Next(v *View) Action {
+	if s.fire {
+		s.fire = false
+		panic("lane slot panic")
+	}
+	return s.walkStepper.Next(v)
+}
+
+// panicAtTrialHook arms the panic on one specific trial.
+type panicAtTrialHook struct{ target int }
+
+func (h panicAtTrialHook) PreArm(int) error { return nil }
+func (h panicAtTrialHook) PostArm(trial int, a, b Stepper) {
+	if p, ok := a.(*armedPanicStepper); ok {
+		p.fire = trial == h.target
+	}
+}
+
+// TestLanePanicQuarantinesSlot: a panicking trial surfaces as that
+// trial's error, its slot is quarantined — the stepper pair is
+// abandoned and rebuilt, never re-armed — and every other trial of
+// the range still matches its solo run exactly.
+func TestLanePanicQuarantinesSlot(t *testing.T) {
+	g := mustComplete(t, 12)
+	cfg := Config{Graph: g, StartA: 0, StartB: 7, MaxRounds: 100000}
+	const trials, target = 20, 7
+
+	want := make([]*Result, trials)
+	for i := range want {
+		c := cfg
+		c.Seed = laneSeed(i)
+		res, err := RunSteppers(c, &walkStepper{}, &walkStepper{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	for _, width := range []int{1, 3, 8} {
+		builds := 0
+		lane := NewTrialLane(width, func() (Stepper, Stepper, error) {
+			builds++
+			return &armedPanicStepper{}, &armedPanicStepper{}, nil
+		})
+		lane.Hook = panicAtTrialHook{target: target}
+		got := make([]*Result, trials)
+		var panicErr error
+		wm := lane.Run(cfg, laneSeed, 0, trials, func(trial int, res *Result, err error) {
+			if trial == target {
+				panicErr = err
+				return
+			}
+			if err != nil {
+				t.Fatalf("width=%d trial %d: %v", width, trial, err)
+			}
+			c := *res
+			got[trial] = &c
+		})
+		if wm != trials {
+			t.Fatalf("width=%d: watermark %d, want %d (a panic must not stop the range)", width, wm, trials)
+		}
+		if panicErr == nil || panicErr.Error() != "sim: trial panicked: lane slot panic" {
+			t.Fatalf("width=%d: target trial error = %v, want the panic message", width, panicErr)
+		}
+		for i := range want {
+			if i == target {
+				continue
+			}
+			if got[i] == nil {
+				t.Fatalf("width=%d: trial %d never emitted", width, i)
+			}
+			if *got[i] != *want[i] {
+				t.Errorf("width=%d trial %d: post-panic lane %+v != solo %+v", width, i, *got[i], *want[i])
+			}
+		}
+		// Reusable steppers build once per slot; the quarantined slot
+		// rebuilds exactly once more.
+		if builds != width+1 {
+			t.Errorf("width=%d: %d builds, want %d (one per slot plus the quarantine rebuild)", width, builds, width+1)
+		}
+		lane.Close()
+	}
+}
+
+// TestLaneStopWatermark: Stop ends the run at a refill boundary; the
+// watermark is the first un-armed trial, everything below it was
+// emitted exactly once (resident trials drain), nothing at or above
+// it was touched.
+func TestLaneStopWatermark(t *testing.T) {
+	g := mustComplete(t, 12)
+	cfg := Config{Graph: g, StartA: 0, StartB: 7, MaxRounds: 100000}
+	const trials, stopAfter = 400, 25
+
+	for _, width := range []int{1, 4, 16} {
+		lane := NewTrialLane(width, func() (Stepper, Stepper, error) {
+			return &reusableWalkStepper{}, &reusableWalkStepper{}, nil
+		})
+		emitted := map[int]int{}
+		stop := false
+		lane.Stop = func() bool { return stop }
+		wm := lane.Run(cfg, laneSeed, 0, trials, func(trial int, res *Result, err error) {
+			if err != nil {
+				t.Fatalf("width=%d trial %d: %v", width, trial, err)
+			}
+			emitted[trial]++
+			if len(emitted) >= stopAfter {
+				stop = true
+			}
+		})
+		if wm >= trials || wm < stopAfter {
+			t.Fatalf("width=%d: watermark %d outside the expected [%d, %d) window", width, wm, stopAfter, trials)
+		}
+		for trial := 0; trial < wm; trial++ {
+			if emitted[trial] != 1 {
+				t.Errorf("width=%d: trial %d below watermark %d emitted %d times, want 1", width, trial, wm, emitted[trial])
+			}
+		}
+		for trial := range emitted {
+			if trial >= wm {
+				t.Errorf("width=%d: trial %d at/above watermark %d was emitted", width, trial, wm)
+			}
+		}
+		// A stopped lane stays stopped: the next Run arms nothing.
+		if wm2 := lane.Run(cfg, laneSeed, wm, trials, func(int, *Result, error) {
+			t.Errorf("width=%d: stopped lane emitted a trial", width)
+		}); wm2 != wm {
+			t.Errorf("width=%d: stopped lane advanced its watermark %d → %d", width, wm, wm2)
+		}
+		// Clearing Stop resumes from the watermark; the union covers
+		// the range exactly once.
+		lane.Stop = nil
+		lane.Run(cfg, laneSeed, wm, trials, func(trial int, res *Result, err error) {
+			if err != nil {
+				t.Fatalf("width=%d trial %d: %v", width, trial, err)
+			}
+			emitted[trial]++
+		})
+		for trial := 0; trial < trials; trial++ {
+			if emitted[trial] != 1 {
+				t.Errorf("width=%d: trial %d emitted %d times across stop+resume, want 1", width, trial, emitted[trial])
+			}
+		}
+		lane.Close()
+	}
+}
+
 // TestLaneValidationErrors: an invalid configuration is reported for
 // every trial of the range without building any steppers.
 func TestLaneValidationErrors(t *testing.T) {

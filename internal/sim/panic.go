@@ -1,0 +1,22 @@
+package sim
+
+import "fmt"
+
+// PanicError formats a recovered panic value as the error a panicking
+// trial surfaces. Every execution path that isolates a trial panic —
+// the lockstep lane and the engine's per-trial stepper path — must
+// produce byte-identical messages for the same panic value, or the
+// engine's first-error reporting would depend on which path ran the
+// trial; this helper is the single definition of that formatting.
+func PanicError(r any) error {
+	return fmt.Errorf("sim: trial panicked: %v", r)
+}
+
+// safeFinish is Finish hardened against a poisoned stepper: a trial
+// that panicked mid-run may have left its steppers in a state where
+// even the Finish hook panics, and quarantine teardown must not let
+// that second panic escape the lane.
+func safeFinish(s Stepper) {
+	defer func() { _ = recover() }()
+	Finish(s)
+}
