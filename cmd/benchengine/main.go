@@ -377,34 +377,20 @@ func timedRunBest(b fnr.Batch, reps int) (*fnr.Aggregate, int64) {
 	return agg, best
 }
 
-// genWorkload reproduces the fixed workload derivation: the planted
+// genWorkload reproduces the fixed workload derivation — the planted
 // graph from PCG(seed, 0xbe7c4) plus an adjacent start pair from the
-// same stream. Returns the graph, the pair, and the generation time.
+// same stream — through the shared job layer, so a benchmark run, an
+// `experiments -tail` run, and an fnrd submission with the same
+// (n, d, seed) all exercise the same instance. Returns the graph, the
+// pair, and the generation time.
 func genWorkload(n, d int, seed uint64) (*fnr.Graph, fnr.Vertex, fnr.Vertex, int64) {
-	rng := rand.New(rand.NewPCG(seed, 0xbe7c4))
 	start := time.Now()
-	g, err := fnr.PlantedMinDegree(n, d, rng)
+	m, err := fnr.MaterializeWorkload(fnr.JobWorkload{Kind: "planted", N: n, D: d, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
 	}
 	genMS := max(time.Since(start).Milliseconds(), 1)
-	sa := fnr.Vertex(rng.IntN(g.N()))
-	for g.Degree(sa) == 0 {
-		sa = fnr.Vertex(rng.IntN(g.N()))
-	}
-	sb := g.Adj(sa)[rng.IntN(g.Degree(sa))]
-	return g, sa, sb, genMS
-}
-
-// graphFootprint is the byte count of the CSR arrays a parsed graph
-// retains, computed from its dimensions: ids (8 per vertex), offsets
-// (8 per vertex plus one), nbrs/sorted/idPort (4 bytes per arc each),
-// nbrIDs/idSorted (8 per arc each), and the dense id→vertex index (4
-// per id over the dense range, which equals n for the identity-ID
-// graphs the generators emit).
-func graphFootprint(g *fnr.Graph) int64 {
-	n, arcs := int64(g.N()), 2*int64(g.M())
-	return 8*n + 8*(n+1) + (4+4+8+8+4)*arcs + 4*n
+	return m.Graph, m.StartA, m.StartB, genMS
 }
 
 // runHuge executes the million-vertex preset (see hugeReport):
@@ -483,7 +469,7 @@ func runHuge(n, d, trials int, seed uint64, workers, shardIndex, shardCount int,
 	}
 	hio.ReadElapsedMS = max(time.Since(start).Milliseconds(), 1)
 	runtime.ReadMemStats(&after)
-	transient := int64(after.TotalAlloc-before.TotalAlloc) - graphFootprint(h)
+	transient := int64(after.TotalAlloc-before.TotalAlloc) - h.FootprintBytes()
 	hio.ReadPeakTransientMB = float64(transient) / (1 << 20)
 	if !h.Equal(hg) {
 		log.Fatal("huge: v3 round trip changed the graph")
@@ -694,49 +680,34 @@ func main() {
 	}
 
 	if *mega {
+		// One job.Spec covers both modes — plain and crash-safe (the
+		// resumed result is byte-identical to an uninterrupted run;
+		// reducer merging is partition-insensitive). The workload is
+		// materialized before the timer so generation stays outside the
+		// throughput measurement.
 		mg, msa, msb, _ := genWorkload(*megaN, *megaD, *seed)
-		batch := fnr.Batch{
-			Graph:      mg,
-			StartA:     msa,
-			StartB:     msb,
-			Algorithm:  "sweep",
-			Delta:      mg.MinDegree(),
-			Trials:     *megaTrials,
-			Seed:       *seed,
-			Workers:    workers,
-			ShardIndex: shardIndex,
-			ShardCount: shardCount,
+		spec := fnr.JobSpec{
+			Algorithm:       "sweep",
+			Workload:        &fnr.JobWorkload{Kind: "planted", N: *megaN, D: *megaD, Seed: *seed},
+			Trials:          *megaTrials,
+			Seed:            *seed,
+			ShardIndex:      shardIndex,
+			ShardCount:      shardCount,
+			Checkpoint:      *checkpoint,
+			CheckpointEvery: *checkpointEvery,
+			Resume:          *resume,
+		}.Normalize()
+		if err := spec.Validate(); err != nil {
+			log.Fatalf("mega sweep: %v", err)
 		}
+		built := fnr.JobMaterialized{Graph: mg, StartA: msa, StartB: msb}
 		runtime.GC()
 		start := time.Now()
-		var agg *fnr.Aggregate
-		if *checkpoint != "" || *resume != "" {
-			// Crash-safe mode: journal progress, resume coverage. The
-			// resumed result is byte-identical to an uninterrupted run
-			// (reducer merging is partition-insensitive).
-			var prior *fnr.BatchReducer
-			if *resume != "" {
-				var err error
-				if prior, err = fnr.ReadBatchCheckpoint(*resume, batch); err != nil {
-					log.Fatalf("mega resume: %v", err)
-				}
-			}
-			ck := fnr.BatchCheckpoint{Path: *checkpoint, Every: *checkpointEvery}
-			if ck.Path == "" {
-				ck.Path = *resume
-			}
-			r, err := fnr.RunBatchCheckpointed(context.Background(), batch, ck, prior)
-			if err != nil {
-				log.Fatalf("mega sweep: %v", err)
-			}
-			agg = r.Aggregate(batch)
-		} else {
-			var err error
-			agg, err = fnr.RunBatchStreaming(batch)
-			if err != nil {
-				log.Fatalf("mega sweep: %v", err)
-			}
+		res, err := fnr.RunJobBuilt(context.Background(), spec, built, fnr.JobExecOptions{Workers: workers})
+		if err != nil {
+			log.Fatalf("mega sweep: %v", err)
 		}
+		agg := res.Aggregate()
 		elapsed := max(time.Since(start).Milliseconds(), 1)
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)

@@ -31,15 +31,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand/v2"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
-	"syscall"
 	"time"
 
 	"fnr"
+	"fnr/internal/server"
 )
 
 // parseShard parses "i/k" into a shard index and count.
@@ -103,6 +101,7 @@ func main() {
 	if *tailAlgo != "" {
 		runTail(cfg, tailOptions{
 			algorithm: *tailAlgo,
+			params:    *preset,
 			n:         *tailN, d: *tailD,
 			trials: *tailTrials, seed: *tailSeed,
 			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
@@ -185,6 +184,7 @@ func main() {
 // tailOptions collects the -tail* flag values.
 type tailOptions struct {
 	algorithm       string
+	params          string
 	n, d            int
 	trials          int
 	seed            uint64
@@ -196,72 +196,46 @@ type tailOptions struct {
 }
 
 // runTail executes one long crash-safe batch and prints its aggregate
-// as indented JSON. The workload derivation matches benchengine's mega
-// preset (PCG stream 0xbe7c4), so a tail run with the same (n, d, seed)
-// exercises the same instance a benchmark run journals.
+// as indented JSON. The whole run is one fnr.JobSpec — the same
+// serializable description cmd/fnrd accepts over HTTP — so the
+// workload derivation (PCG stream 0xbe7c4) and the aggregate bytes
+// match a benchengine mega run or a daemon submission of the same
+// parameters exactly.
 func runTail(cfg fnr.ExperimentConfig, opt tailOptions) {
-	// SIGINT/SIGTERM cancel the batch at the next chunk boundary; the
-	// run still flushes its journal and prints the partial aggregate.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// SIGINT/SIGTERM cancel the batch at the next chunk boundary via
+	// the drain helper shared with cmd/fnrd; the run still flushes its
+	// journal and prints the partial aggregate.
+	ctx, stop := server.SignalContext(context.Background())
 	defer stop()
 
-	rng := rand.New(rand.NewPCG(opt.seed, 0xbe7c4))
-	g, err := fnr.PlantedMinDegree(opt.n, opt.d, rng)
-	if err != nil {
-		log.Fatalf("tail workload: %v", err)
-	}
-	sa := fnr.Vertex(rng.IntN(g.N()))
-	for g.Degree(sa) == 0 {
-		sa = fnr.Vertex(rng.IntN(g.N()))
-	}
-	sb := g.Adj(sa)[rng.IntN(g.Degree(sa))]
-
-	batch := fnr.Batch{
-		Graph:      g,
-		StartA:     sa,
-		StartB:     sb,
-		Algorithm:  opt.algorithm,
-		Params:     cfg.Params,
-		Delta:      g.MinDegree(),
-		Trials:     opt.trials,
-		Seed:       opt.seed,
-		Workers:    cfg.Workers,
-		ShardIndex: cfg.ShardIndex,
-		ShardCount: cfg.ShardCount,
-	}
-	if opt.faults != "" {
-		plan, err := fnr.ParseFaultPlan(opt.faults, opt.faultSeed)
-		if err != nil {
-			log.Fatalf("tail: %v", err)
-		}
-		batch.Faults = plan
+	spec := fnr.JobSpec{
+		Algorithm:       opt.algorithm,
+		Workload:        &fnr.JobWorkload{Kind: "planted", N: opt.n, D: opt.d, Seed: opt.seed},
+		Trials:          opt.trials,
+		Seed:            opt.seed,
+		Params:          opt.params,
+		ShardIndex:      cfg.ShardIndex,
+		ShardCount:      cfg.ShardCount,
+		Faults:          opt.faults,
+		FaultSeed:       opt.faultSeed,
+		Checkpoint:      opt.checkpoint,
+		CheckpointEvery: opt.checkpointEvery,
+		Resume:          opt.resume,
+	}.Normalize()
+	if err := spec.Validate(); err != nil {
+		log.Fatalf("tail: %v", err)
 	}
 
-	var r *fnr.BatchReducer
-	if opt.checkpoint != "" || opt.resume != "" {
-		var prior *fnr.BatchReducer
-		if opt.resume != "" {
-			if prior, err = fnr.ReadBatchCheckpoint(opt.resume, batch); err != nil {
-				log.Fatalf("tail resume: %v", err)
-			}
-		}
-		ck := fnr.BatchCheckpoint{Path: opt.checkpoint, Every: opt.checkpointEvery}
-		if ck.Path == "" {
-			ck.Path = opt.resume
-		}
-		r, err = fnr.RunBatchCheckpointed(ctx, batch, ck, prior)
-	} else {
-		r, err = fnr.RunBatchReducedContext(ctx, batch)
-	}
-	// Cancellation still yields the partial reducer; report it before
+	res, err := fnr.RunJob(ctx, spec, fnr.JobExecOptions{Workers: cfg.Workers})
+	// Cancellation still yields the partial result; report it before
 	// deciding the exit status.
-	cancelled := err != nil && ctx.Err() != nil && r != nil
+	cancelled := err != nil && ctx.Err() != nil && res != nil
 	if err != nil && !cancelled {
 		log.Fatalf("tail: %v", err)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if encErr := enc.Encode(r.Aggregate(batch)); encErr != nil {
+	if encErr := enc.Encode(res.Aggregate()); encErr != nil {
 		log.Fatal(encErr)
 	}
 	if cancelled {

@@ -42,6 +42,7 @@ import (
 	"fnr/internal/engine"
 	"fnr/internal/graph"
 	"fnr/internal/harness"
+	"fnr/internal/job"
 	"fnr/internal/lower"
 	"fnr/internal/sim"
 
@@ -628,4 +629,50 @@ func HardInstance(kind HardKind, n int) (*Instance, error) {
 // used to exercise HardDeterministic instances.
 func SweepAgentsForInstance() (Program, Program) {
 	return lower.AsProgram(lower.NewGreedySweep()), lower.AsProgram(lower.NewGreedySweep())
+}
+
+// ---- Batch-job layer (internal/job) ------------------------------------
+//
+// A JobSpec is the one serializable description of a batch — algorithm,
+// workload (or a reference to a cached graph), trials, seed, shard,
+// fault plan, checkpoint policy — shared by the CLIs and the fnrd
+// daemon. Constructing a spec and calling RunJob is equivalent to
+// materializing the workload by hand and running the engine's reduced
+// path, byte-for-byte in the aggregate.
+
+type (
+	// JobSpec is the canonical serializable batch description.
+	JobSpec = job.Spec
+	// JobWorkload names a generated topology plus derivation seed.
+	JobWorkload = job.Workload
+	// JobMaterialized is a built graph with its derived start pair.
+	JobMaterialized = job.Materialized
+	// JobExecOptions carries execution-only knobs (never affect
+	// results).
+	JobExecOptions = job.ExecOptions
+	// JobResult pairs the finished (or partial) reducer with the batch
+	// it reduced, so Aggregate needs no extra arguments.
+	JobResult = job.Result
+)
+
+// MaterializeWorkload derives the graph and start pair for a workload —
+// the single home of the seeded-PCG derivation previously duplicated
+// across the CLIs and harness.
+func MaterializeWorkload(w JobWorkload) (JobMaterialized, error) {
+	return w.Materialize()
+}
+
+// RunJob materializes the spec's workload and executes it, routing to
+// the plain reduced path or the checkpointed path according to the
+// spec. On cancellation the partial result is returned alongside
+// ctx.Err.
+func RunJob(ctx context.Context, s JobSpec, opt JobExecOptions) (*JobResult, error) {
+	return job.Run(ctx, s, opt)
+}
+
+// RunJobBuilt is RunJob for a workload that is already materialized —
+// the entry point for callers that manage graph reuse themselves (the
+// fnrd daemon's graph cache, benchengine's pre-built mega graph).
+func RunJobBuilt(ctx context.Context, s JobSpec, m JobMaterialized, opt JobExecOptions) (*JobResult, error) {
+	return job.RunBuilt(ctx, s, m, opt)
 }

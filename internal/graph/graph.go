@@ -104,6 +104,21 @@ func (g *Graph) Stamp() uint64 { return g.stamp }
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.ids) }
 
+// FootprintBytes reports the retained size of the graph's backing
+// arrays: the CSR offsets and five parallel per-arc arrays, the ID
+// table, and whichever ID→vertex index form this graph carries (dense
+// inverse or sorted pairs). It is the eviction weight for graph
+// caches and the baseline benchmark memory witnesses subtract.
+func (g *Graph) FootprintBytes() int64 {
+	return 8*int64(len(g.ids)) +
+		4*int64(len(g.idToV)) +
+		8*int64(len(g.idKeys)) + 4*int64(len(g.idVerts)) +
+		8*int64(len(g.offsets)) +
+		4*int64(len(g.nbrs)) + 4*int64(len(g.sorted)) +
+		8*int64(len(g.nbrIDs)) +
+		8*int64(len(g.idSorted)) + 4*int64(len(g.idPort))
+}
+
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return g.edges }
 

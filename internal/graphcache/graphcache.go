@@ -1,0 +1,189 @@
+// Package graphcache is a content-addressed cache of materialized
+// workloads (immutable built graphs plus their start pairs), keyed by
+// job.Workload.Key. Graphs are immutable after construction and carry
+// a process-unique Stamp, so serving the same *graph.Graph to many
+// concurrent batches is safe — and keeps the engine's stamp-keyed
+// per-agent scratch (home-return-port caches) legal across requests.
+//
+// Concurrency follows the singleflight discipline: the first Get for
+// a key claims the build and every concurrent Get for the same key
+// waits on it, so a graph is built exactly once no matter how many
+// requests race. Retention is LRU by the graphs' CSR footprint
+// (graph.FootprintBytes) under a byte budget; entries still being
+// built are not evictable, and a failed build is forgotten so a later
+// Get retries.
+package graphcache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"fnr/internal/job"
+)
+
+// DefaultMaxBytes is the retention budget New applies when the caller
+// passes 0: a few large-preset graphs' worth.
+const DefaultMaxBytes = 1 << 31 // 2 GiB
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits counts Gets served an already-built (or in-flight) graph;
+	// Misses counts Gets that claimed a build; Builds counts build
+	// attempts (= Misses); Evictions counts LRU removals.
+	Hits, Misses, Builds, Evictions uint64
+	// Entries and Bytes describe current retention; MaxBytes the
+	// budget.
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+}
+
+// Cache is the content-addressed graph cache. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*entry
+	lru      *list.List // front = most recently used; built entries only
+	stats    Stats
+}
+
+type entry struct {
+	key   string
+	val   job.Materialized
+	bytes int64
+	err   error
+	ready chan struct{} // closed when the build finishes
+	elem  *list.Element // non-nil once resident in the LRU list
+}
+
+// New returns a cache retaining up to maxBytes of built CSR arrays
+// (0 = DefaultMaxBytes, negative = unlimited).
+func New(maxBytes int64) *Cache {
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the materialized workload for key, building it with
+// build on the first request. Concurrent Gets for the same key share
+// one build (singleflight); waiters abandon the wait — but not the
+// build — when ctx is cancelled. A failed build is not cached: the
+// error propagates to every waiter and the next Get retries.
+func (c *Cache) Get(ctx context.Context, key string, build func() (job.Materialized, error)) (job.Materialized, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return job.Materialized{}, ctx.Err()
+		}
+		if e.err != nil {
+			return job.Materialized{}, e.err
+		}
+		c.mu.Lock()
+		c.touch(e)
+		c.mu.Unlock()
+		return e.val, nil
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.stats.Misses++
+	c.stats.Builds++
+	c.mu.Unlock()
+
+	val, err := build()
+	c.mu.Lock()
+	if err != nil {
+		e.err = err
+		// Forget the failure so a later Get retries the build.
+		delete(c.entries, key)
+		close(e.ready)
+		c.mu.Unlock()
+		return job.Materialized{}, err
+	}
+	if val.Graph == nil {
+		e.err = fmt.Errorf("graphcache: build for %q returned no graph", key)
+		delete(c.entries, key)
+		close(e.ready)
+		c.mu.Unlock()
+		return job.Materialized{}, e.err
+	}
+	e.val = val
+	e.bytes = val.Graph.FootprintBytes()
+	e.elem = c.lru.PushFront(e)
+	c.bytes += e.bytes
+	c.evictOverBudget(e)
+	close(e.ready)
+	c.mu.Unlock()
+	return val, nil
+}
+
+// Lookup returns the entry for key only if it is already built —
+// no build, no wait. The resolution path for job.Spec.GraphRef.
+func (c *Cache) Lookup(key string) (job.Materialized, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.elem == nil {
+		c.stats.Misses++
+		return job.Materialized{}, false
+	}
+	c.stats.Hits++
+	c.touch(e)
+	return e.val, true
+}
+
+// touch marks a built entry most recently used.
+func (c *Cache) touch(e *entry) {
+	if e.elem != nil && c.entries[e.key] == e {
+		c.lru.MoveToFront(e.elem)
+	}
+}
+
+// evictOverBudget drops least-recently-used built entries until the
+// budget holds, never evicting keep (the entry just inserted: the
+// current request needs it, and evicting it would make an oversized
+// graph rebuild on every Get without ever being servable from cache —
+// it gets evicted by the next insertion instead).
+func (c *Cache) evictOverBudget(keep *entry) {
+	if c.maxBytes < 0 {
+		return
+	}
+	for c.bytes > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		if e == keep {
+			return
+		}
+		c.lru.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.Bytes = c.bytes
+	s.MaxBytes = c.maxBytes
+	return s
+}

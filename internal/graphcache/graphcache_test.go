@@ -1,0 +1,204 @@
+package graphcache_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fnr/internal/graphcache"
+	"fnr/internal/job"
+)
+
+func planted(n, d int, seed uint64) job.Workload {
+	return job.Workload{Kind: "planted", N: n, D: d, Seed: seed}
+}
+
+// TestSingleflightBuildOnce races N goroutines at one key and
+// requires exactly one build, everyone sharing the same graph
+// pointer. Run under -race in CI, this is also the cache's data-race
+// witness.
+func TestSingleflightBuildOnce(t *testing.T) {
+	c := graphcache.New(0)
+	w := planted(256, 16, 7)
+	var builds atomic.Int64
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	results := make([]job.Materialized, goroutines)
+	errs := make([]error, goroutines)
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = c.Get(context.Background(), w.Key(), func() (job.Materialized, error) {
+				builds.Add(1)
+				return w.Materialize()
+			})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("graph built %d times under concurrency, want exactly 1", got)
+	}
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i].Graph != results[0].Graph {
+			t.Fatal("concurrent Gets returned different graph pointers")
+		}
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("stats = %+v, want 1 build, 1 miss, %d hits", st, goroutines-1)
+	}
+	if st.Entries != 1 || st.Bytes != results[0].Graph.FootprintBytes() {
+		t.Fatalf("retention = %d entries / %d bytes, want 1 entry of %d bytes",
+			st.Entries, st.Bytes, results[0].Graph.FootprintBytes())
+	}
+}
+
+// TestStampStableAcrossHits: a cache hit returns the same immutable
+// graph — same pointer, same Stamp — so stamp-keyed engine scratch
+// (home-return-port caches) stays valid across requests.
+func TestStampStableAcrossHits(t *testing.T) {
+	c := graphcache.New(0)
+	w := planted(64, 8, 3)
+	get := func() job.Materialized {
+		m, err := c.Get(context.Background(), w.Key(), w.Materialize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	first := get()
+	for i := 0; i < 3; i++ {
+		again := get()
+		if again.Graph != first.Graph {
+			t.Fatal("cache hit returned a different graph pointer")
+		}
+		if again.Graph.Stamp() != first.Graph.Stamp() {
+			t.Fatal("cache hit changed the graph stamp")
+		}
+		if again.StartA != first.StartA || again.StartB != first.StartB {
+			t.Fatal("cache hit changed the start pair")
+		}
+	}
+	if st := c.Stats(); st.Builds != 1 {
+		t.Fatalf("%d builds across repeated hits, want 1", st.Builds)
+	}
+}
+
+// TestLRUEvictionAtByteBudget sizes the budget for exactly two built
+// graphs and inserts three: the least recently used one must go, and
+// re-getting it must rebuild.
+func TestLRUEvictionAtByteBudget(t *testing.T) {
+	ws := []job.Workload{planted(64, 8, 1), planted(64, 8, 2), planted(64, 8, 3)}
+	var ms []job.Materialized
+	for _, w := range ws {
+		m, err := w.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	// Budget: any two graphs fit, all three never do.
+	budget := ms[0].Graph.FootprintBytes() + ms[1].Graph.FootprintBytes() + ms[2].Graph.FootprintBytes() - 1
+
+	c := graphcache.New(budget)
+	builds := make([]int, len(ws))
+	get := func(i int) {
+		t.Helper()
+		if _, err := c.Get(context.Background(), ws[i].Key(), func() (job.Materialized, error) {
+			builds[i]++
+			return ws[i].Materialize()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(0)
+	get(1)
+	get(0) // order now: 0 (recent), 1
+	get(2) // evicts 1, the LRU victim
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats after third insert = %+v, want 1 eviction, 2 entries", st)
+	}
+	if _, ok := c.Lookup(ws[1].Key()); ok {
+		t.Fatal("LRU victim still resident")
+	}
+	if _, ok := c.Lookup(ws[0].Key()); !ok {
+		t.Fatal("recently used entry was evicted instead of the LRU victim")
+	}
+	get(1) // rebuild after eviction
+	if builds[0] != 1 || builds[1] != 2 || builds[2] != 1 {
+		t.Fatalf("build counts = %v, want [1 2 1]", builds)
+	}
+	if st := c.Stats(); st.Bytes > budget {
+		t.Fatalf("retained %d bytes over the %d budget", st.Bytes, budget)
+	}
+}
+
+// TestBuildErrorNotCached: a failed build propagates its error and is
+// forgotten, so the next Get retries.
+func TestBuildErrorNotCached(t *testing.T) {
+	c := graphcache.New(0)
+	w := planted(64, 8, 5)
+	boom := errors.New("boom")
+	fail := true
+	get := func() (job.Materialized, error) {
+		return c.Get(context.Background(), w.Key(), func() (job.Materialized, error) {
+			if fail {
+				return job.Materialized{}, boom
+			}
+			return w.Materialize()
+		})
+	}
+	if _, err := get(); !errors.Is(err, boom) {
+		t.Fatalf("first Get error = %v, want boom", err)
+	}
+	fail = false
+	if m, err := get(); err != nil || m.Graph == nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+	if st := c.Stats(); st.Builds != 2 {
+		t.Fatalf("%d builds, want 2 (failure + retry)", st.Builds)
+	}
+}
+
+// TestWaiterCancellation: a waiter whose context dies abandons the
+// wait with ctx.Err while the build itself continues for others.
+func TestWaiterCancellation(t *testing.T) {
+	c := graphcache.New(0)
+	w := planted(64, 8, 6)
+	release := make(chan struct{})
+	firstIn := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get(context.Background(), w.Key(), func() (job.Materialized, error) {
+			close(firstIn)
+			<-release
+			return w.Materialize()
+		})
+		done <- err
+	}()
+	<-firstIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(ctx, w.Key(), w.Materialize); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter error = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The build completed despite the waiter's cancellation.
+	if _, ok := c.Lookup(w.Key()); !ok {
+		t.Fatal("build abandoned because one waiter cancelled")
+	}
+}

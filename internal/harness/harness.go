@@ -9,13 +9,12 @@ package harness
 
 import (
 	"context"
-	"fmt"
-	"math/rand/v2"
 	"runtime"
 
 	"fnr/internal/core"
 	"fnr/internal/engine"
 	"fnr/internal/graph"
+	"fnr/internal/job"
 	"fnr/internal/sim"
 
 	// Strategy registrations for the engine batches the experiments
@@ -143,27 +142,23 @@ func runAlgo(cfg Config, trials int, batchSeed uint64, g *graph.Graph, sa, sb gr
 	})
 }
 
+// harnessStream is the PCG stream constant the suite has always used
+// for workload derivation — passed through job.Workload so the shared
+// derivation reproduces every pre-refactor instance bit-for-bit.
+const harnessStream uint64 = 0x9e3779b97f4a7c15
+
 // plantedWorkload builds the standard quasi-regular scaling workload: a
 // connected graph with min degree ≥ d and a uniformly chosen adjacent
 // start pair (a fixed low-index pair would bias ID-partition algorithms
 // toward their first phase). The result depends only on (n, d, seed),
-// so different trial seeds share the same instance.
+// so different trial seeds share the same instance. The derivation
+// itself lives in the job layer, shared with the CLIs and fnrd.
 func plantedWorkload(n, d int, seed uint64) (*graph.Graph, graph.Vertex, graph.Vertex, error) {
-	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
-	g, err := graph.PlantedMinDegree(n, d, rng)
+	m, err := job.Workload{Kind: "planted", N: n, D: d, Seed: seed, Stream: harnessStream}.Materialize()
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	if g.MaxDegree() == 0 {
-		return nil, 0, 0, fmt.Errorf("harness: workload graph has no edges")
-	}
-	u := graph.Vertex(rng.IntN(g.N()))
-	for g.Degree(u) == 0 {
-		u = graph.Vertex(rng.IntN(g.N()))
-	}
-	adj := g.Adj(u)
-	v := adj[rng.IntN(len(adj))]
-	return g, u, v, nil
+	return m.Graph, m.StartA, m.StartB, nil
 }
 
 // workloadSpec names one planted scaling workload by its defining

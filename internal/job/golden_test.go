@@ -1,0 +1,129 @@
+package job_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fnr/internal/job"
+)
+
+// The golden aggregates below were captured from `experiments -tail`
+// BEFORE the workload derivation moved into this package — the pin
+// that deduplicating the CLIs onto job.Materialize/job.Run changed no
+// output byte. Encoding matches the CLI: json.Encoder with two-space
+// indent.
+
+// goldenTailWhiteboard: experiments -tail whiteboard -tail-n 256
+// -tail-d 32 -tail-trials 60 -tail-seed 5
+const goldenTailWhiteboard = `{
+  "algorithm": "whiteboard",
+  "trials": 60,
+  "seed": 5,
+  "met": 60,
+  "failures": 0,
+  "errors": 0,
+  "success_rate": 1,
+  "rounds": {
+    "mean": 105.11666666666666,
+    "median": 71,
+    "p95": 296.3499999999998,
+    "min": 6,
+    "max": 427
+  },
+  "moves": {
+    "mean": 208.58333333333334,
+    "median": 141,
+    "p95": 590.5499999999996,
+    "min": 11,
+    "max": 853
+  }
+}`
+
+// goldenTailFaulted: experiments -tail walkpair -tail-n 128 -tail-d 8
+// -tail-trials 500 -tail-seed 11 -shard 1/3
+// -faults panic:p=0.01,stall:p=0.02,builderr:p=0.005 -fault-seed 9 —
+// a sharded, fault-injected run, pinning first_errors ordering and
+// trial_spans coverage alongside the distributions.
+const goldenTailFaulted = `{
+  "algorithm": "walkpair",
+  "trials": 167,
+  "seed": 11,
+  "met": 161,
+  "failures": 6,
+  "errors": 3,
+  "success_rate": 0.9640718562874252,
+  "rounds": {
+    "mean": 146.28571428571428,
+    "median": 111,
+    "p95": 422,
+    "min": 1,
+    "max": 613
+  },
+  "moves": {
+    "mean": 287.219512195122,
+    "median": 212,
+    "p95": 843.7,
+    "min": 0,
+    "max": 1226
+  },
+  "first_errors": [
+    "trial 180: sim: trial panicked: fault injection: panic at trial 180",
+    "trial 199: sim: trial panicked: fault injection: panic at trial 199",
+    "trial 297: sim: trial panicked: fault injection: panic at trial 297"
+  ],
+  "trial_spans": [
+    {
+      "lo": 166,
+      "hi": 333
+    }
+  ]
+}`
+
+// renderAggregate reproduces the tail CLI's output encoding.
+func renderAggregate(t *testing.T, res *job.Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res.Aggregate()); err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(buf.String())
+}
+
+func TestGoldenTailWhiteboard(t *testing.T) {
+	res, err := job.Run(context.Background(), job.Spec{
+		Algorithm: "whiteboard",
+		Workload:  &job.Workload{Kind: "planted", N: 256, D: 32, Seed: 5},
+		Trials:    60,
+		Seed:      5,
+	}, job.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderAggregate(t, res); got != goldenTailWhiteboard {
+		t.Fatalf("whiteboard tail aggregate drifted from the pre-refactor golden:\ngot:\n%s\nwant:\n%s", got, goldenTailWhiteboard)
+	}
+}
+
+func TestGoldenTailFaulted(t *testing.T) {
+	res, err := job.Run(context.Background(), job.Spec{
+		Algorithm:  "walkpair",
+		Workload:   &job.Workload{Kind: "planted", N: 128, D: 8, Seed: 11},
+		Trials:     500,
+		Seed:       11,
+		ShardIndex: 1,
+		ShardCount: 3,
+		Faults:     "panic:p=0.01,stall:p=0.02,builderr:p=0.005",
+		FaultSeed:  9,
+	}, job.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderAggregate(t, res); got != goldenTailFaulted {
+		t.Fatalf("faulted shard tail aggregate drifted from the pre-refactor golden:\ngot:\n%s\nwant:\n%s", got, goldenTailFaulted)
+	}
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// handleMetrics renders the admission, execution, and graph-cache
+// counters in the Prometheus text exposition format — hand-written,
+// so the daemon stays dependency-free.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	submitted, rejected := s.submitted, s.rejected
+	completed, failed, cancelled := s.completed, s.failed, s.cancelled
+	inflight, queued := s.inflight, len(s.queue)
+	trials := s.trialsDone
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	cs := s.cache.Stats()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("fnrd_batches_submitted_total", "Batches accepted into the admission queue.", submitted)
+	counter("fnrd_batches_rejected_total", "Submissions rejected with 429 (queue full).", rejected)
+	counter("fnrd_batches_completed_total", "Batches finished successfully.", completed)
+	counter("fnrd_batches_failed_total", "Batches finished with an error.", failed)
+	counter("fnrd_batches_cancelled_total", "Batches cancelled (client DELETE or drain).", cancelled)
+	counter("fnrd_trials_completed_total", "Engine trials aggregated across finished and cancelled batches.", trials)
+	gauge("fnrd_batches_inflight", "Batches currently executing.", int64(inflight))
+	gauge("fnrd_queue_depth", "Batches waiting in the admission queue.", int64(queued))
+	gauge("fnrd_queue_capacity", "Admission queue capacity.", int64(s.cfg.QueueDepth))
+	gauge("fnrd_draining", "1 while the server is draining.", int64(draining))
+	counter("fnrd_graphcache_hits_total", "Graph-cache hits (including waits on an in-flight build).", cs.Hits)
+	counter("fnrd_graphcache_misses_total", "Graph-cache misses.", cs.Misses)
+	counter("fnrd_graphcache_builds_total", "Graph builds claimed (one per workload key under singleflight).", cs.Builds)
+	counter("fnrd_graphcache_evictions_total", "Graphs evicted by the LRU byte budget.", cs.Evictions)
+	gauge("fnrd_graphcache_entries", "Graphs resident in the cache.", int64(cs.Entries))
+	gauge("fnrd_graphcache_bytes", "Bytes of CSR arrays resident in the cache.", cs.Bytes)
+	gauge("fnrd_graphcache_max_bytes", "Graph-cache retention budget.", cs.MaxBytes)
+}
