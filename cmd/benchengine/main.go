@@ -20,6 +20,16 @@
 // streaming reducer: the batch runs through RunBatchStreaming and the
 // report records the live heap afterwards as a bounded-memory witness.
 //
+// A "scenarios" preset reruns the reference workload as explicit
+// job-layer scenarios: a two-agent whiteboard sweep over wake delays
+// τ ∈ -wake-delays (agent b sleeps τ rounds before its first step)
+// plus one k-agent walkpair entry with the first-pair meeting
+// predicate. Each entry records the exact canonical spec JSON and its
+// hash, so a smoke check can resubmit the identical spec to a running
+// fnrd and diff the aggregates byte for byte; the τ=0 entry doubles
+// as a live legacy-parity gate (its hash and aggregate must match the
+// scenario-free spec exactly).
+//
 // A fourth preset ("huge", default PlantedMinDegree(2²⁰, 64))
 // exercises the 64-bit graph core end to end: bulk Hamiltonian-cycle
 // generation (timed against the sequential prefix it replaced), a v3
@@ -49,6 +59,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"fnr"
@@ -211,6 +223,49 @@ type hugeIOReport struct {
 	ReadPeakTransientMB float64 `json:"read_peak_transient_mb"`
 }
 
+// scenarioReport is the delayed-wakeup preset: the reference workload
+// rerun as explicit scenarios through the job layer (the exact path an
+// fnrd submission takes). The sweep holds the two-agent whiteboard
+// instance fixed and delays agent b's wake-up by τ rounds for each τ
+// in -wake-delays — the datapoint tracking how asynchronous start
+// times shift the meeting-round distribution. The team entry runs a
+// k-agent walkpair scenario (last agent delayed, first-pair meeting
+// predicate), exercising the generalized k-agent loop end to end. The
+// τ=0 sweep entry is a live legacy-parity witness: its spec must hash
+// identically to the scenario-free spec and its aggregate must be
+// byte-identical to running that spec, or the run aborts.
+type scenarioReport struct {
+	N       int    `json:"n"`
+	D       int    `json:"d"`
+	Trials  int    `json:"trials"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	// Sweep is the two-agent wake-delay sweep, one entry per τ.
+	Sweep []scenarioEntry `json:"sweep"`
+	// Team is the k-agent entry (nil when -scenario-agents is 2).
+	Team *scenarioEntry `json:"team,omitempty"`
+}
+
+// scenarioEntry is one scenario datapoint. Spec carries the exact
+// canonical job JSON, so a smoke check can resubmit the identical
+// spec to a running fnrd and diff the returned aggregate against
+// Aggregate byte for byte.
+type scenarioEntry struct {
+	Algorithm string `json:"algorithm"`
+	Agents    int    `json:"agents"`
+	// WakeDelay is the delayed agent's τ (the last agent; everyone
+	// else wakes at round 0).
+	WakeDelay int64 `json:"wake_delay"`
+	// Spec is the canonical job JSON of the entry; SpecHash its
+	// content hash (the daemon's cache key for this scenario).
+	Spec     json.RawMessage `json:"spec"`
+	SpecHash string          `json:"spec_hash"`
+	// ElapsedMS is wall-clock for the batch at the configured worker
+	// count (machine-dependent, like every elapsed field).
+	ElapsedMS int64          `json:"elapsed_ms"`
+	Aggregate *fnr.Aggregate `json:"aggregate"`
+}
+
 // megaReport is the streaming-aggregation preset: a 10M-trial batch
 // on a tiny instance, run through RunBatchStreaming, proving the
 // engine sustains trial counts whose outcome slice alone would cost
@@ -244,6 +299,7 @@ type report struct {
 	GenElapsedMS int64                  `json:"gen_elapsed_ms"`
 	IO           *ioReport              `json:"io,omitempty"`
 	Batches      map[string]batchReport `json:"batches"`
+	Scenarios    *scenarioReport        `json:"scenarios,omitempty"`
 	Large        *largeReport           `json:"large,omitempty"`
 	Mega         *megaReport            `json:"mega,omitempty"`
 	Huge         *hugeReport            `json:"huge,omitempty"`
@@ -393,6 +449,94 @@ func genWorkload(n, d int, seed uint64) (*fnr.Graph, fnr.Vertex, fnr.Vertex, int
 	return m.Graph, m.StartA, m.StartB, genMS
 }
 
+// runScenarioSpec validates and executes one scenario spec through the
+// shared job layer on the already-materialized reference workload, and
+// packs the result into a scenarioEntry.
+func runScenarioSpec(spec fnr.JobSpec, built fnr.JobMaterialized, workers int, delay int64) scenarioEntry {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		log.Fatalf("scenario %s: %v", spec.Algorithm, err)
+	}
+	canon, err := spec.CanonicalJSON()
+	if err != nil {
+		log.Fatalf("scenario %s: %v", spec.Algorithm, err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		log.Fatalf("scenario %s: %v", spec.Algorithm, err)
+	}
+	start := time.Now()
+	res, err := fnr.RunJobBuilt(context.Background(), spec, built, fnr.JobExecOptions{Workers: workers})
+	if err != nil {
+		log.Fatalf("scenario %s: %v", spec.Algorithm, err)
+	}
+	agents := spec.Agents
+	if agents == 0 {
+		agents = 2
+	}
+	return scenarioEntry{
+		Algorithm: spec.Algorithm,
+		Agents:    agents,
+		WakeDelay: delay,
+		Spec:      json.RawMessage(canon),
+		SpecHash:  hash,
+		ElapsedMS: max(time.Since(start).Milliseconds(), 1),
+		Aggregate: res.Aggregate(),
+	}
+}
+
+// runScenarios executes the delayed-wakeup preset (see scenarioReport)
+// on the reference workload: the whiteboard wake-delay sweep plus one
+// k-agent walkpair entry.
+func runScenarios(g *fnr.Graph, sa, sb fnr.Vertex, n, d, trials int, seed uint64, workers, agents int, delays []int64) *scenarioReport {
+	srep := &scenarioReport{
+		N: n, D: d, Trials: trials, Seed: seed, Workers: workers,
+	}
+	built := fnr.JobMaterialized{Graph: g, StartA: sa, StartB: sb}
+	base := fnr.JobSpec{
+		Algorithm: "whiteboard",
+		Workload:  &fnr.JobWorkload{Kind: "planted", N: n, D: d, Seed: seed},
+		Trials:    trials,
+		Seed:      seed,
+	}
+	for _, tau := range delays {
+		spec := base
+		spec.WakeDelays = []int64{0, tau}
+		entry := runScenarioSpec(spec, built, workers, tau)
+		if tau == 0 {
+			// Legacy-parity witness: a τ=0 scenario is the legacy
+			// two-agent batch, so it must share the plain spec's hash
+			// and aggregate exactly.
+			plain := runScenarioSpec(base, built, workers, 0)
+			if entry.SpecHash != plain.SpecHash {
+				log.Fatalf("scenario τ=0: spec hash %s differs from the scenario-free spec's %s", entry.SpecHash, plain.SpecHash)
+			}
+			if !entry.Aggregate.Equal(plain.Aggregate) {
+				log.Fatal("scenario τ=0: aggregate differs from the scenario-free run — legacy parity broken")
+			}
+		}
+		srep.Sweep = append(srep.Sweep, entry)
+	}
+	if agents > 2 {
+		// k walkers, last one delayed by the sweep's largest τ, first
+		// pair to collide ends the trial (an all-gather of independent
+		// walkers on the reference graph would rarely finish inside
+		// any sane round bound).
+		wd := make([]int64, agents)
+		if len(delays) > 0 {
+			wd[agents-1] = delays[len(delays)-1]
+		}
+		spec := base
+		spec.Algorithm = "walkpair"
+		spec.Agents = agents
+		spec.WakeDelays = wd
+		spec.Meet = "firstpair"
+		entry := runScenarioSpec(spec, built, workers, wd[agents-1])
+		srep.Team = &entry
+	}
+	return srep
+}
+
 // runHuge executes the million-vertex preset (see hugeReport):
 // prefix timings, full generation, a v3 file round trip with the
 // transient-memory witness, and one sweep lane batch. assertIO turns
@@ -522,6 +666,11 @@ func main() {
 		setupCycles = flag.Int("setup-cycles", 10000, "build+Init+Finish cycles per stepper setup-cost measurement")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
 
+		scenarios      = flag.Bool("scenarios", true, "also run the delayed-wakeup scenario preset")
+		scenarioAgents = flag.Int("scenario-agents", 3, "agent count for the scenario preset's k-agent entry (2 = skip)")
+		scenarioTrials = flag.Int("scenario-trials", 64, "trials per scenario entry")
+		wakeDelays     = flag.String("wake-delays", "0,16,256", "comma-separated wake delays τ for the scenario sweep")
+
 		shard           = flag.String("shard", "", "run batch shard i of k, format i/k (trial seeds stay global; merge reducers across shards)")
 		assertLockstep  = flag.Bool("assert-lockstep", false, "fail if the lockstep lane path is slower than the per-trial stepper path on any preset (CI smoke)")
 		mega            = flag.Bool("mega", true, "also run the 10M-trial streaming-aggregation preset")
@@ -629,6 +778,18 @@ func main() {
 			CoroutineSetupElapsedMS: coroSetup,
 			SetupSpeedup:            float64(coroSetup) / float64(nativeSetup),
 		}
+	}
+
+	if *scenarios {
+		var delays []int64
+		for _, part := range strings.Split(*wakeDelays, ",") {
+			tau, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil || tau < 0 {
+				log.Fatalf("invalid -wake-delays %q: want comma-separated non-negative integers", *wakeDelays)
+			}
+			delays = append(delays, tau)
+		}
+		rep.Scenarios = runScenarios(g, sa, sb, *n, *d, *scenarioTrials, *seed, workers, *scenarioAgents, delays)
 	}
 
 	if *large {
@@ -745,6 +906,16 @@ func main() {
 	}
 	log.Printf("read n=%d: binary %dms (%d bytes) vs text %dms (%d bytes), %.1fx",
 		*n, rep.IO.ReadElapsedMS, rep.IO.Bytes, rep.IO.ReadTextElapsedMS, rep.IO.TextBytes, rep.IO.ReadSpeedup)
+	if rep.Scenarios != nil {
+		for _, e := range rep.Scenarios.Sweep {
+			log.Printf("scenario %s τ=%d: %d trials in %dms, mean meeting round %.1f",
+				e.Algorithm, e.WakeDelay, rep.Scenarios.Trials, e.ElapsedMS, e.Aggregate.Rounds.Mean)
+		}
+		if e := rep.Scenarios.Team; e != nil {
+			log.Printf("scenario %s k=%d τ=%d (firstpair): %d trials in %dms, mean meeting round %.1f",
+				e.Algorithm, e.Agents, e.WakeDelay, rep.Scenarios.Trials, e.ElapsedMS, e.Aggregate.Rounds.Mean)
+		}
+	}
 	if rep.Large != nil {
 		log.Printf("large gen n=%d d=%d: %dms", rep.Large.N, rep.Large.D, rep.Large.GenElapsedMS)
 		log.Printf("large read: binary %dms (%d bytes) vs text %dms (%d bytes), %.1fx",

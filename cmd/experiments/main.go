@@ -23,6 +23,13 @@
 //	experiments -tail whiteboard -tail-trials 10000000 \
 //	    -checkpoint tail.ckpt -resume tail.ckpt   # picks up coverage
 //	experiments -tail sweep -faults panic:p=1e-4,stall:p=1e-4
+//
+// Tail batches can be scenarios: -agents k runs a k-agent gathering
+// (team-capable algorithms only for k>2), -wake-delay τ delays the
+// last agent's wake-up by τ rounds, and -meet firstpair ends each
+// trial at the first pairwise meeting instead of the all-k gather:
+//
+//	experiments -tail walkpair -agents 3 -wake-delay 256 -meet firstpair
 package main
 
 import (
@@ -73,6 +80,9 @@ func main() {
 		resume          = flag.String("resume", "", "tail mode: resume from this checkpoint journal, skipping its covered trials")
 		faults          = flag.String("faults", "", "tail mode: deterministic fault plan, e.g. panic:p=1e-4,stall:p=1e-4,builderr:p=1e-5")
 		faultSeed       = flag.Uint64("fault-seed", 0, "tail mode: fault-plan seed (independent of -tail-seed)")
+		agents          = flag.Int("agents", 0, "tail mode: agent count k (0 = legacy two-agent batch; k>2 needs a team-capable algorithm)")
+		wakeDelay       = flag.Int64("wake-delay", 0, "tail mode: delay the last agent's wake-up by this many rounds")
+		meet            = flag.String("meet", "", "tail mode: meeting predicate, all|firstpair (empty = all)")
 	)
 	flag.Parse()
 
@@ -107,6 +117,7 @@ func main() {
 			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery,
 			resume: *resume,
 			faults: *faults, faultSeed: *faultSeed,
+			agents: *agents, wakeDelay: *wakeDelay, meet: *meet,
 		})
 		return
 	}
@@ -193,6 +204,9 @@ type tailOptions struct {
 	resume          string
 	faults          string
 	faultSeed       uint64
+	agents          int
+	wakeDelay       int64
+	meet            string
 }
 
 // runTail executes one long crash-safe batch and prints its aggregate
@@ -221,7 +235,21 @@ func runTail(cfg fnr.ExperimentConfig, opt tailOptions) {
 		Checkpoint:      opt.checkpoint,
 		CheckpointEvery: opt.checkpointEvery,
 		Resume:          opt.resume,
-	}.Normalize()
+		Agents:          opt.agents,
+		Meet:            opt.meet,
+	}
+	if opt.wakeDelay > 0 {
+		// -wake-delay τ delays the last agent; everyone else wakes at
+		// round 0. The spec's delay vector must match the team size.
+		k := opt.agents
+		if k == 0 {
+			k = 2
+		}
+		wd := make([]int64, k)
+		wd[k-1] = opt.wakeDelay
+		spec.WakeDelays = wd
+	}
+	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		log.Fatalf("tail: %v", err)
 	}

@@ -6,7 +6,10 @@
 // running the same spec in-process through fnr.RunBatchReduced. Graphs
 // are shared across batches through a content-addressed cache keyed by
 // workload hash, so repeated submissions against the same topology
-// build it once. SIGINT/SIGTERM drains gracefully: in-flight
+// build it once. Specs may carry a scenario block (agents, starts,
+// wake_delays, meet) to run k-agent delayed-wakeup gatherings; specs
+// without one hash and execute exactly as before the scenario layer
+// existed. SIGINT/SIGTERM drains gracefully: in-flight
 // checkpointed batches journal their covered trial spans before the
 // process exits, ready for a resume resubmission.
 //

@@ -85,8 +85,18 @@ type (
 	StepperFinisher = sim.Finisher
 	// StepContext carries the run-constant inputs to a Stepper's Init.
 	StepContext = sim.StepContext
-	// AgentName identifies one of the two agents (AgentA or AgentB).
+	// AgentName identifies an agent by team index (AgentA and AgentB
+	// are agents 0 and 1 of the default two-agent setting).
 	AgentName = sim.AgentName
+	// Scenario generalizes a simulation beyond the paper's two-agent
+	// setting: k ≥ 2 agents with per-agent start vertices and wake
+	// delays, gathered (or pairwise-met) under a chosen predicate.
+	// Set it on SimConfig.Scenario or Batch.Scenario; nil means the
+	// legacy two-agent run.
+	Scenario = sim.Scenario
+	// AgentStats is one agent's per-run accounting (moves, stays);
+	// Result.Agents carries one per agent on k > 2 runs.
+	AgentStats = sim.AgentStats
 	// AgentScratch is a per-agent reusable scratch slot on the batch
 	// engine's trial contexts; long-lived strategies can park state
 	// there across trials (see StepContext.Scratch).
@@ -116,11 +126,14 @@ const NoMark = sim.NoMark
 // accepts — the bound on a streaming decode's transient buffer.
 const V3MaxChunkLen = graph.V3MaxChunkLen
 
-// The two agents of a run.
+// The two agents of a legacy run (team indices 0 and 1).
 const (
 	AgentA = sim.AgentA
 	AgentB = sim.AgentB
 )
+
+// MaxScenarioAgents is the largest team size a Scenario can name.
+const MaxScenarioAgents = sim.MaxAgents
 
 // Graph generators, re-exported from the graph substrate.
 var (
@@ -454,6 +467,9 @@ type (
 	// TrialSpan is a half-open global trial-index range [Lo, Hi): a
 	// sharded batch's coverage metadata on reducers and aggregates.
 	TrialSpan = engine.TrialSpan
+	// ScenarioInfo is the aggregate's echo of the scenario a batch ran
+	// under (nil on legacy two-agent batches).
+	ScenarioInfo = engine.ScenarioInfo
 )
 
 // MergeBatchReducers combines per-shard (or per-worker) reducers;
@@ -586,6 +602,14 @@ func RunPrograms(cfg SimConfig, a, b Program) (*Result, error) {
 // ProgramStepper to run it against a native Stepper.
 func RunSteppers(cfg SimConfig, a, b Stepper) (*Result, error) {
 	return sim.RunSteppers(cfg, a, b)
+}
+
+// RunTeam executes a k-agent stepper team under an explicit
+// simulation configuration — the entry point for Scenario runs (the
+// team length must match the scenario's agent count; a nil
+// cfg.Scenario expects the usual two steppers).
+func RunTeam(cfg SimConfig, team []Stepper) (*Result, error) {
+	return sim.RunTeam(cfg, team)
 }
 
 // HardKind selects a lower-bound instance family.

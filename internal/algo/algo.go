@@ -102,6 +102,15 @@ type Spec struct {
 	// strategies can satisfy it cheaply with SteppersFromPrograms;
 	// specs that leave it nil simply stay on the Program path.
 	BuildSteppers func(o BuildOpts) (a, b sim.Stepper, err error)
+	// BuildTeam, when non-nil, constructs the strategy for a k-agent
+	// scenario (k > 2): one stepper per agent, in team order. It is
+	// never consulted at k=2 — Spec.Team routes the pair case through
+	// BuildSteppers so two-agent scenarios stay byte-identical to the
+	// legacy path — and a nil BuildTeam means the strategy supports
+	// exactly two agents (Team fails loudly for larger k). The
+	// oblivious baselines support any k; the paper's algorithms are
+	// inherently pairwise and leave it nil.
+	BuildTeam func(o BuildOpts, k int) ([]sim.Stepper, error)
 }
 
 // check validates the NeedsDelta capability; Build implementations
@@ -140,6 +149,51 @@ func (s Spec) Steppers(o BuildOpts) (a, b sim.Stepper, err error) {
 	}
 	return s.BuildSteppers(o)
 }
+
+// Team builds a fresh k-agent stepper team after validating o against
+// the spec's capabilities. k=2 always routes through the stepper-pair
+// builder — guaranteeing a two-agent scenario runs the exact steppers
+// the legacy path runs — and k>2 requires BuildTeam: strategies
+// without one (the paper's pairwise algorithms) fail loudly here
+// rather than silently degrading.
+func (s Spec) Team(o BuildOpts, k int) ([]sim.Stepper, error) {
+	if k == 2 {
+		a, b, err := s.Steppers(o)
+		if err != nil {
+			sim.Finish(b)
+			sim.Finish(a)
+			return nil, err
+		}
+		return []sim.Stepper{a, b}, nil
+	}
+	if s.BuildTeam == nil {
+		return nil, fmt.Errorf("algo %q does not support %d agents (two-agent strategy)", s.Name, k)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("algo %q: team size %d < 2", s.Name, k)
+	}
+	if err := s.check(o); err != nil {
+		return nil, err
+	}
+	if o.Params == (core.Params{}) {
+		o.Params = core.PracticalParams()
+	}
+	team, err := s.BuildTeam(o, k)
+	if err != nil {
+		return nil, err
+	}
+	if len(team) != k {
+		for i := len(team) - 1; i >= 0; i-- {
+			sim.Finish(team[i])
+		}
+		return nil, fmt.Errorf("algo %q: team builder returned %d steppers, want %d", s.Name, len(team), k)
+	}
+	return team, nil
+}
+
+// SupportsTeam reports whether the strategy can run k-agent scenarios
+// for k > 2 (two-agent scenarios run on every strategy).
+func (s Spec) SupportsTeam() bool { return s.BuildTeam != nil }
 
 // SteppersFromPrograms lifts a Program-pair builder into a
 // stepper-pair builder by hosting each program on a lightweight

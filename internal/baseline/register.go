@@ -8,9 +8,13 @@ import (
 // The baselines self-register with the strategy registry; importing
 // this package (blank imports included) is enough to make them
 // resolvable by name. Orders 2–6 preserve the historical
-// fnr.Algorithm constant values. Every baseline registers both forms:
-// Build (direct-style programs, the goroutine path) and BuildSteppers
-// (the native state machines of steppers.go, the engine's fast path).
+// fnr.Algorithm constant values. Every baseline registers three
+// forms: Build (direct-style programs, the goroutine path),
+// BuildSteppers (the native state machines of steppers.go, the
+// engine's fast path), and BuildTeam — the baselines are all
+// oblivious, so the k-agent generalization is agent 0 in the a-role
+// and agents 1..k-1 each running an independent copy of the b-role
+// (for walkpair, k independent walkers; the roles coincide).
 func init() {
 	pair := func(f func() (sim.Program, sim.Program)) func(algo.BuildOpts) (sim.Program, sim.Program, error) {
 		return func(algo.BuildOpts) (sim.Program, sim.Program, error) {
@@ -23,6 +27,16 @@ func init() {
 			return fa(), fb(), nil
 		}
 	}
+	team := func(fa, fb func() sim.Stepper) func(algo.BuildOpts, int) ([]sim.Stepper, error) {
+		return func(_ algo.BuildOpts, k int) ([]sim.Stepper, error) {
+			out := make([]sim.Stepper, 0, k)
+			out = append(out, fa())
+			for i := 1; i < k; i++ {
+				out = append(out, fb())
+			}
+			return out, nil
+		}
+	}
 	algo.Register(algo.Spec{
 		Name:          "sweep",
 		Order:         2,
@@ -30,6 +44,7 @@ func init() {
 		Caps:          algo.Caps{NeighborIDs: true},
 		Build:         pair(StayAndSweep),
 		BuildSteppers: steppers(StayerStepper, SweepStepper),
+		BuildTeam:     team(StayerStepper, SweepStepper),
 	})
 	algo.Register(algo.Spec{
 		Name:          "dfs",
@@ -38,6 +53,7 @@ func init() {
 		Caps:          algo.Caps{NeighborIDs: true},
 		Build:         pair(StayAndDFS),
 		BuildSteppers: steppers(StayerStepper, DFSStepper),
+		BuildTeam:     team(StayerStepper, DFSStepper),
 	})
 	algo.Register(algo.Spec{
 		Name:          "staywalk",
@@ -45,6 +61,7 @@ func init() {
 		Summary:       "a waits, b random-walks by ports (KT0-capable)",
 		Build:         pair(StayAndWalk),
 		BuildSteppers: steppers(StayerStepper, RandomWalkerStepper),
+		BuildTeam:     team(StayerStepper, RandomWalkerStepper),
 	})
 	algo.Register(algo.Spec{
 		Name:          "walkpair",
@@ -52,6 +69,7 @@ func init() {
 		Summary:       "two independent random walkers (KT0-capable)",
 		Build:         pair(RandomWalkPair),
 		BuildSteppers: steppers(RandomWalkerStepper, RandomWalkerStepper),
+		BuildTeam:     team(RandomWalkerStepper, RandomWalkerStepper),
 	})
 	algo.Register(algo.Spec{
 		Name:          "birthday",
@@ -60,5 +78,6 @@ func init() {
 		Caps:          algo.Caps{NeighborIDs: true, Whiteboards: true},
 		Build:         pair(BirthdayAgents),
 		BuildSteppers: steppers(BirthdayStepperA, BirthdayStepperB),
+		BuildTeam:     team(BirthdayStepperA, BirthdayStepperB),
 	})
 }

@@ -23,6 +23,26 @@ type diffCase struct {
 	g    *graph.Graph
 }
 
+// sameResult compares two simulation Results field by field (Result
+// carries a per-agent stats slice on k > 2 runs, so it is not
+// comparable with ==; both runs here are two-agent, but the helper
+// checks the slice anyway).
+func sameResult(a, b *sim.Result) bool {
+	if a.Met != b.Met || a.MeetRound != b.MeetRound || a.MeetVertex != b.MeetVertex ||
+		a.Rounds != b.Rounds || a.A != b.A || a.B != b.B || a.Writes != b.Writes {
+		return false
+	}
+	if len(a.Agents) != len(b.Agents) {
+		return false
+	}
+	for i := range a.Agents {
+		if a.Agents[i] != b.Agents[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func diffInstances(t *testing.T) []diffCase {
 	t.Helper()
 	rng := rand.New(rand.NewPCG(31, 32))
@@ -82,7 +102,7 @@ func TestWhiteboardStepperMatchesProgramExactly(t *testing.T) {
 				if nerr != nil {
 					t.Fatalf("%s/%s/seed%d native: %v", inst.name, mode, seed, nerr)
 				}
-				if *cres != *nres || *pres != *nres {
+				if !sameResult(cres, nres) || !sameResult(pres, nres) {
 					t.Errorf("%s/%s/seed%d: results differ:\ngoroutine: %+v\ncoroutine: %+v\nnative:    %+v",
 						inst.name, mode, seed, cres, pres, nres)
 				}
@@ -124,7 +144,7 @@ func TestNoboardStepperMatchesProgramExactly(t *testing.T) {
 				if nerr != nil {
 					t.Fatalf("%s/seed%d native: %v", inst.name, seed, nerr)
 				}
-				if *cres != *nres || *pres != *nres {
+				if !sameResult(cres, nres) || !sameResult(pres, nres) {
 					t.Errorf("%s/seed%d/dm=%v: results differ:\ngoroutine: %+v\ncoroutine: %+v\nnative:    %+v",
 						inst.name, seed, disableMeeting, cres, pres, nres)
 				}
@@ -172,7 +192,7 @@ func TestNativeSteppersIdenticalOnWarmContext(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s seed %d fresh: %v", alg, seed, err)
 			}
-			if *warm != *fresh {
+			if !sameResult(warm, fresh) {
 				t.Errorf("%s seed %d: warm context diverged:\nwarm:  %+v\nfresh: %+v", alg, seed, warm, fresh)
 			}
 		}

@@ -28,7 +28,7 @@ import (
 //
 // Wire format (the v3 chunk-framing idiom of internal/graph/io.go):
 //
-//	magic   8 bytes: "fnrckpt" + version byte 0x01
+//	magic   8 bytes: "fnrckpt" + version byte 0x01 or 0x02
 //	frame   uvarint plen (1 ≤ plen ≤ 4 MiB), plen payload bytes,
 //	        crc32c (Castagnoli, little-endian) of those payload bytes
 //	...     more frames; the logical payload stream continues across
@@ -44,11 +44,21 @@ import (
 //	identity  algorithm, batch seed, trials, delta, maxRounds,
 //	          startA, startB, graph n, fault plan (flag + seed +
 //	          three probability bit patterns)
+//	scenario  (version 0x02 only) agent count k, k start vertices,
+//	          delays flag + k wake delays when set, meeting-predicate
+//	          flag (1 = first pair)
 //	reducer   trials, met, errors; rounds and moves value→count
 //	          tables (ascending values); error log entries
 //	          (trial, message); coalesced covered spans (lo, hi)
+//
+// Version selection: a legacy two-agent batch (nil Scenario after
+// normalization — see Batch.normalized) writes 0x01, byte-identical
+// to pre-scenario journals; a batch carrying a real scenario writes
+// 0x02 with the scenario identity section. A version/batch mismatch
+// fails identity validation like any other identity drift.
 const (
 	ckptMagic    = "fnrckpt\x01"
+	ckptMagicV2  = "fnrckpt\x02"
 	ckptFrameMax = 4 << 20
 	// ckptFrameTarget is where the writer cuts a frame; single
 	// appends are tiny, so frames never approach ckptFrameMax.
@@ -85,6 +95,7 @@ type Checkpoint struct {
 // returned after the run completes — the computation itself never
 // stops for a disk problem.
 func RunCheckpointed(ctx context.Context, b Batch, ck Checkpoint, resume *Reducer) (*Reducer, error) {
+	b = b.normalized()
 	spec, opts, err := b.prepare()
 	if err != nil {
 		return nil, err
@@ -207,8 +218,13 @@ func ReadCheckpointFile(path string, b Batch) (*Reducer, error) {
 // WriteCheckpoint serializes the reducer, stamped with b's identity,
 // to the journal wire format.
 func WriteCheckpoint(w io.Writer, b Batch, r *Reducer) error {
+	b = b.normalized()
 	cw := &ckptWriter{w: w, crc: crc32.New(ckptCRC)}
-	cw.wire([]byte(ckptMagic))
+	if b.Scenario != nil {
+		cw.wire([]byte(ckptMagicV2))
+	} else {
+		cw.wire([]byte(ckptMagic))
+	}
 	// Identity section.
 	cw.str(b.Algorithm)
 	cw.u64(b.Seed)
@@ -230,6 +246,26 @@ func WriteCheckpoint(w io.Writer, b Batch, r *Reducer) error {
 		cw.u64(math.Float64bits(f.PBuildErr))
 	} else {
 		cw.u64(0)
+	}
+	// Scenario identity section (v2 journals only).
+	if sc := b.Scenario; sc != nil {
+		cw.u64(uint64(sc.K()))
+		for _, s := range sc.Starts {
+			cw.u64(uint64(s))
+		}
+		if len(sc.WakeDelays) > 0 {
+			cw.u64(1)
+			for _, d := range sc.WakeDelays {
+				cw.u64(uint64(d))
+			}
+		} else {
+			cw.u64(0)
+		}
+		if sc.MeetFirstPair {
+			cw.u64(1)
+		} else {
+			cw.u64(0)
+		}
 	}
 	// Reducer section.
 	cw.u64(uint64(r.trials))
@@ -259,10 +295,11 @@ func WriteCheckpoint(w io.Writer, b Batch, r *Reducer) error {
 // ReadCheckpoint deserializes a checkpoint and validates both its
 // integrity (framing, CRCs) and its identity against the batch the
 // caller is about to resume: a journal written for a different
-// algorithm, seed, trial count, graph size, budget, start pair or
-// fault plan must fail loudly here, never resume into silently mixed
-// statistics.
+// algorithm, seed, trial count, graph size, budget, start pair,
+// fault plan or scenario must fail loudly here, never resume into
+// silently mixed statistics.
 func ReadCheckpoint(rd io.Reader, b Batch) (*Reducer, error) {
+	b = b.normalized()
 	cr, err := newCkptReader(rd)
 	if err != nil {
 		return nil, err
@@ -297,6 +334,46 @@ func ReadCheckpoint(rd io.Reader, b Batch) (*Reducer, error) {
 				cr.u64() == math.Float64bits(b.Faults.PStall) &&
 				cr.u64() == math.Float64bits(b.Faults.PBuildErr)
 			return "(differs)", "(batch plan)", ok
+		}},
+		{"scenario", func() (any, any, bool) {
+			sc := b.Scenario
+			switch {
+			case cr.version == 1 && sc == nil:
+				return "none", "none", true
+			case cr.version == 1:
+				return "none (v1 journal)", fmt.Sprintf("%d agents", sc.K()), false
+			case sc == nil:
+				return "present (v2 journal)", "legacy two-agent batch", false
+			}
+			if k := cr.count(); k != sc.K() {
+				return k, sc.K(), false
+			}
+			for _, s := range sc.Starts {
+				if v := cr.u64(); cr.err == nil && v != uint64(s) {
+					return "(start vertices differ)", "(batch scenario)", false
+				}
+			}
+			wantDelays := uint64(0)
+			if len(sc.WakeDelays) > 0 {
+				wantDelays = 1
+			}
+			if flag := cr.u64(); cr.err == nil && flag != wantDelays {
+				return "(wake delays differ)", "(batch scenario)", false
+			} else if flag == 1 && cr.err == nil {
+				for _, d := range sc.WakeDelays {
+					if v := cr.u64(); cr.err == nil && v != uint64(d) {
+						return "(wake delays differ)", "(batch scenario)", false
+					}
+				}
+			}
+			wantMeet := uint64(0)
+			if sc.MeetFirstPair {
+				wantMeet = 1
+			}
+			if v := cr.u64(); cr.err == nil && v != wantMeet {
+				return "(meeting predicate differs)", "(batch scenario)", false
+			}
+			return "scenario", "scenario", true
 		}},
 	}
 	for _, c := range idChecks {
@@ -416,6 +493,7 @@ func (cw *ckptWriter) end() error {
 type ckptReader struct {
 	payload []byte
 	pos     int
+	version int
 	err     error
 }
 
@@ -433,7 +511,13 @@ func newCkptReader(rd io.Reader) (*ckptReader, error) {
 	if err := wire(magic[:]); err != nil {
 		return nil, fmt.Errorf("engine: checkpoint: reading magic: %w", err)
 	}
-	if string(magic[:]) != ckptMagic {
+	var version int
+	switch string(magic[:]) {
+	case ckptMagic:
+		version = 1
+	case ckptMagicV2:
+		version = 2
+	default:
 		return nil, errors.New("engine: checkpoint: bad magic (not a checkpoint journal, or unsupported version)")
 	}
 	var payload bytes.Buffer
@@ -480,7 +564,7 @@ func newCkptReader(rd io.Reader) (*ckptReader, error) {
 	if binary.LittleEndian.Uint32(tb[:]) != want {
 		return nil, errors.New("engine: checkpoint: stream CRC mismatch (corrupt journal)")
 	}
-	return &ckptReader{payload: payload.Bytes()}, nil
+	return &ckptReader{payload: payload.Bytes(), version: version}, nil
 }
 
 func (cr *ckptReader) u64() uint64 {

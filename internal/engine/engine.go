@@ -35,8 +35,20 @@ type Batch struct {
 	// Graph is the shared instance (immutable, so safe to share
 	// across workers). Required.
 	Graph *graph.Graph
-	// StartA and StartB are the agents' start vertices.
+	// StartA and StartB are the agents' start vertices in the default
+	// two-agent setting. Ignored when Scenario is set.
 	StartA, StartB graph.Vertex
+	// Scenario, if non-nil, runs the batch as a k-agent, delayed-
+	// wakeup scenario (see sim.Scenario): per-agent starts and wake
+	// delays replace StartA/StartB, and the meeting predicate is
+	// all-k gathered (or first-pair). A scenario that is observably
+	// the legacy setting — k=2, zero delays, all-gather — is folded
+	// into StartA/StartB before anything observes it, so its
+	// aggregate and checkpoint identity are byte-identical to the
+	// equivalent legacy batch. k>2 requires the stepper path and a
+	// strategy with a team builder (the oblivious baselines; the
+	// paper's pairwise algorithms reject k>2 loudly).
+	Scenario *sim.Scenario
 	// Algorithm names a registered strategy (see algo.Names).
 	Algorithm string
 	// Params overrides the algorithm constants (zero value selects
@@ -88,6 +100,38 @@ type Batch struct {
 	// count, lane width and shard split must never change a faulted
 	// batch's aggregate.
 	Faults *FaultPlan
+}
+
+// normalized folds a legacy-equivalent scenario (k=2, zero delays,
+// all-gather) into the StartA/StartB pair fields: every public entry
+// point applies it first, so such a batch is indistinguishable —
+// aggregate bytes, checkpoint identity, execution path — from the
+// same batch described the legacy way. Idempotent.
+func (b Batch) normalized() Batch {
+	if sc := b.Scenario; sc != nil {
+		if sa, sb, ok := sc.LegacyPair(); ok {
+			b.StartA, b.StartB = sa, sb
+			b.Scenario = nil
+		}
+	}
+	return b
+}
+
+// teamSize returns the batch's agent count (2 unless a scenario says
+// otherwise).
+func (b Batch) teamSize() int {
+	if b.Scenario != nil {
+		return b.Scenario.K()
+	}
+	return 2
+}
+
+// starts returns the batch's per-agent start vertices.
+func (b Batch) starts() []graph.Vertex {
+	if b.Scenario != nil {
+		return b.Scenario.Starts
+	}
+	return []graph.Vertex{b.StartA, b.StartB}
 }
 
 // shardSpan resolves the batch's global trial range [lo, hi).
@@ -151,7 +195,7 @@ type Outcome struct {
 	// Rounds is the meeting round when Met, and the executed round
 	// count otherwise.
 	Rounds int64
-	// Moves is the total number of edge traversals by both agents.
+	// Moves is the total number of edge traversals by all agents.
 	Moves int64
 	// Err reports a per-trial simulation failure (abort, builder
 	// error, or an isolated panic); such trials count as failures,
@@ -205,6 +249,11 @@ type Aggregate struct {
 	Trials int `json:"trials"`
 	// Seed echoes the batch seed.
 	Seed uint64 `json:"seed"`
+	// Scenario echoes the batch's k-agent/delayed-wakeup scenario, or
+	// is omitted for the legacy two-agent setting (including folded
+	// legacy-equivalent scenarios) — keeping legacy aggregate JSON
+	// byte-identical to pre-scenario output.
+	Scenario *ScenarioInfo `json:"scenario,omitempty"`
 	// Met counts trials that rendezvoused; Failures = Trials - Met
 	// (budget exhaustions and erroring trials alike).
 	Met      int `json:"met"`
@@ -235,6 +284,55 @@ type Aggregate struct {
 	TrialSpans []TrialSpan `json:"trial_spans,omitempty"`
 }
 
+// ScenarioInfo is the aggregate's echo of a batch scenario — the
+// JSON-facing mirror of sim.Scenario, kept separate so the wire shape
+// is explicit and stable.
+type ScenarioInfo struct {
+	// Agents is the team size k.
+	Agents int `json:"agents"`
+	// Starts lists the per-agent start vertices.
+	Starts []int `json:"starts"`
+	// WakeDelays lists the per-agent wake delays; omitted when every
+	// agent wakes at round 0.
+	WakeDelays []int64 `json:"wake_delays,omitempty"`
+	// Meet is "firstpair" under the first-pair meeting predicate and
+	// omitted for the default all-k gathering.
+	Meet string `json:"meet,omitempty"`
+}
+
+// Equal reports whether two scenario echoes are identical.
+func (s *ScenarioInfo) Equal(o *ScenarioInfo) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	return s.Agents == o.Agents && s.Meet == o.Meet &&
+		slices.Equal(s.Starts, o.Starts) &&
+		slices.Equal(s.WakeDelays, o.WakeDelays)
+}
+
+// scenarioInfo builds the aggregate's scenario echo (nil for the
+// legacy setting). The caller has normalized b.
+func (b Batch) scenarioInfo() *ScenarioInfo {
+	sc := b.Scenario
+	if sc == nil {
+		return nil
+	}
+	info := &ScenarioInfo{Agents: sc.K(), Starts: make([]int, sc.K())}
+	for i, s := range sc.Starts {
+		info.Starts[i] = int(s)
+	}
+	for _, d := range sc.WakeDelays {
+		if d != 0 {
+			info.WakeDelays = slices.Clone(sc.WakeDelays)
+			break
+		}
+	}
+	if sc.MeetFirstPair {
+		info.Meet = "firstpair"
+	}
+	return info
+}
+
 // Equal reports whether two aggregates are field-for-field identical
 // (the TrialSpans slice made Aggregate non-comparable with ==).
 func (a *Aggregate) Equal(o *Aggregate) bool {
@@ -242,6 +340,7 @@ func (a *Aggregate) Equal(o *Aggregate) bool {
 		return a == o
 	}
 	return a.Algorithm == o.Algorithm && a.Trials == o.Trials && a.Seed == o.Seed &&
+		a.Scenario.Equal(o.Scenario) &&
 		a.Met == o.Met && a.Failures == o.Failures && a.Errors == o.Errors &&
 		a.SuccessRate == o.SuccessRate && a.Rounds == o.Rounds && a.Moves == o.Moves &&
 		slices.Equal(a.FirstErrors, o.FirstErrors) &&
@@ -371,6 +470,7 @@ func chunkedWorkers[S any](ctx context.Context, workers, n int, newScratch func(
 // it covers, so partial results are the reducer API's job
 // (RunReduced returns the completed state plus its TrialSpans).
 func RunOutcomes(ctx context.Context, b Batch) ([]Outcome, error) {
+	b = b.normalized()
 	spec, opts, err := b.prepare()
 	if err != nil {
 		return nil, err
@@ -430,15 +530,15 @@ type laneWorker[S any] struct {
 func runLanes[S any](ctx context.Context, b Batch, spec algo.Spec, opts algo.BuildOpts, width, lo, hi int, newSink func() S, emit func(sink S, trial int, o Outcome), cover func(sink S, from, to int)) []S {
 	cfg := trialConfig(b, spec, 0) // per-trial seeds come from seedOf
 	seedOf := func(t int) uint64 { return TrialSeed(b.Seed, t) }
-	build := func() (sim.Stepper, sim.Stepper, error) {
-		return spec.Steppers(opts)
+	build := func() ([]sim.Stepper, error) {
+		return spec.Team(opts, b.teamSize())
 	}
 	if b.Faults != nil {
 		build = b.Faults.wrapBuilder(build)
 	}
 	workers := chunkedWorkers(ctx, b.Workers, hi-lo, func() *laneWorker[S] {
 		w := &laneWorker[S]{
-			lane: sim.NewTrialLane(width, build),
+			lane: sim.NewTeamLane(width, build),
 			sink: newSink(),
 		}
 		if b.Faults != nil {
@@ -483,7 +583,8 @@ func Run(ctx context.Context, b Batch) (*Aggregate, error) {
 // summary. For a sharded batch the summary covers the shard's trials
 // only and says so in TrialSpans.
 func AggregateOutcomes(b Batch, outcomes []Outcome) *Aggregate {
-	agg := &Aggregate{Algorithm: b.Algorithm, Trials: len(outcomes), Seed: b.Seed}
+	b = b.normalized()
+	agg := &Aggregate{Algorithm: b.Algorithm, Trials: len(outcomes), Seed: b.Seed, Scenario: b.scenarioInfo()}
 	if b.sharded() {
 		lo, hi := b.shardSpan()
 		agg.TrialSpans = []TrialSpan{{Lo: lo, Hi: hi}}
@@ -530,18 +631,40 @@ func (b Batch) prepare() (algo.Spec, algo.BuildOpts, error) {
 		return spec, opts, fmt.Errorf("engine: shard %d/%d invalid (need 0 ≤ index < count)", b.ShardIndex, b.ShardCount)
 	}
 	n := graph.Vertex(b.Graph.N())
-	if b.StartA < 0 || b.StartA >= n || b.StartB < 0 || b.StartB >= n {
+	if sc := b.Scenario; sc != nil {
+		if err := sc.Validate(n); err != nil {
+			return spec, opts, fmt.Errorf("engine: %w", err)
+		}
+	} else if b.StartA < 0 || b.StartA >= n || b.StartB < 0 || b.StartB >= n {
 		return spec, opts, fmt.Errorf("engine: start vertices (%d, %d) out of range [0,%d)", b.StartA, b.StartB, n)
 	}
-	if b.StartA == b.StartB {
-		// The paper's problem is defined for distinct start vertices;
-		// equal starts would "meet" at round 0 in every trial and
-		// silently skew the aggregates toward instant success.
-		return spec, opts, fmt.Errorf("engine: StartA and StartB are both %d; the rendezvous problem requires distinct start vertices", b.StartA)
+	// The paper's problem is defined for distinct start vertices;
+	// colliding starts would "meet" at round 0 in every trial and
+	// silently skew the aggregates toward instant success. The k-way
+	// check names the colliding agents (agents a and b in the legacy
+	// pair).
+	starts := b.starts()
+	for i, si := range starts {
+		for j := i + 1; j < len(starts); j++ {
+			if si == starts[j] {
+				return spec, opts, fmt.Errorf("engine: agents %s and %s both start at vertex %d; the rendezvous problem requires distinct start vertices",
+					sim.AgentName(i), sim.AgentName(j), si)
+			}
+		}
 	}
 	spec, err := algo.Lookup(b.Algorithm)
 	if err != nil {
 		return spec, opts, fmt.Errorf("engine: %w", err)
+	}
+	if k := b.teamSize(); k > 2 {
+		if !b.useSteppers(spec) {
+			// The Program path hosts exactly two direct-style agents;
+			// k-agent teams exist only in stepper form.
+			return spec, opts, fmt.Errorf("engine: %d-agent scenarios require the stepper path (strategy without steppers, or ForceProgramPath)", k)
+		}
+		if !spec.SupportsTeam() {
+			return spec, opts, fmt.Errorf("engine: algo %q does not support %d agents (two-agent strategy)", spec.Name, k)
+		}
 	}
 	params := b.Params
 	if params == (core.Params{}) {
@@ -561,13 +684,14 @@ func (b Batch) prepare() (algo.Spec, algo.BuildOpts, error) {
 	}
 	// Pre-flight the builder the batch will actually use, so
 	// capability mismatches (for example "noboard" without Delta)
-	// fail before any worker starts. The probe pair never runs, so
+	// fail before any worker starts. The probe team never runs, so
 	// honor the stepper lifecycle by finishing it explicitly.
 	if b.useSteppers(spec) {
-		var sa, sb sim.Stepper
-		sa, sb, err = spec.Steppers(opts)
-		sim.Finish(sa)
-		sim.Finish(sb)
+		var team []sim.Stepper
+		team, err = spec.Team(opts, b.teamSize())
+		for i := len(team) - 1; i >= 0; i-- {
+			sim.Finish(team[i])
+		}
 	} else {
 		_, _, err = spec.Programs(opts)
 	}
@@ -583,6 +707,7 @@ func trialConfig(b Batch, spec algo.Spec, trial int) sim.Config {
 		Graph:       b.Graph,
 		StartA:      b.StartA,
 		StartB:      b.StartB,
+		Scenario:    b.Scenario,
 		NeighborIDs: spec.Caps.NeighborIDs,
 		Whiteboards: spec.Caps.Whiteboards,
 		Seed:        TrialSeed(b.Seed, trial),
@@ -649,17 +774,18 @@ func runStepperTrial(b Batch, spec algo.Spec, opts algo.BuildOpts, tc *sim.Trial
 			return errOutcome(err)
 		}
 	}
-	stA, stB, err := spec.Steppers(opts)
+	team, err := spec.Team(opts, b.teamSize())
 	if err != nil {
-		sim.Finish(stA)
-		sim.Finish(stB)
+		// Team finishes anything it built before failing.
 		return errOutcome(err)
 	}
 	if f := b.Faults; f != nil {
-		stA, stB = wrapFault(stA), wrapFault(stB)
-		f.armSteppers(trial, stA, stB)
+		for i, st := range team {
+			team[i] = wrapFault(st)
+		}
+		f.armSteppers(trial, team)
 	}
-	res, err := tc.RunSteppers(trialConfig(b, spec, trial), stA, stB)
+	res, err := tc.RunTeam(trialConfig(b, spec, trial), team)
 	return OutcomeOf(res, err)
 }
 
@@ -670,7 +796,7 @@ func OutcomeOf(res *sim.Result, err error) Outcome {
 	if err != nil {
 		return errOutcome(err)
 	}
-	out := Outcome{Moves: res.A.Moves + res.B.Moves}
+	out := Outcome{Moves: res.TotalMoves()}
 	if res.Met {
 		out.Met = true
 		out.Rounds = res.MeetRound

@@ -143,28 +143,37 @@ func (f *FaultPlan) armError(trial int) error {
 	return nil
 }
 
-// armSteppers points both wrapper steppers at the trial about to run
-// on them, setting (or clearing) their pending fault. Called once per
-// trial: directly on the per-trial path, via the lane's PostArm hook
-// on the lockstep path.
-func (f *FaultPlan) armSteppers(trial int, a, b sim.Stepper) {
+// armSteppers points every wrapper stepper of the team at the trial
+// about to run on them, setting (or clearing) their pending fault.
+// Called once per trial: directly on the per-trial path, via the
+// lane's PostArm hook on the lockstep path.
+func (f *FaultPlan) armSteppers(trial int, team []sim.Stepper) {
 	kind := f.KindFor(trial)
-	if c, ok := a.(faultCarrier); ok {
-		c.setFault(kind, trial)
-	}
-	if c, ok := b.(faultCarrier); ok {
-		c.setFault(kind, trial)
+	for _, st := range team {
+		if c, ok := st.(faultCarrier); ok {
+			c.setFault(kind, trial)
+		}
 	}
 }
 
-// wrapBuilder interposes fault wrappers on a stepper builder.
-func (f *FaultPlan) wrapBuilder(build func() (sim.Stepper, sim.Stepper, error)) func() (sim.Stepper, sim.Stepper, error) {
-	return func() (sim.Stepper, sim.Stepper, error) {
-		a, b, err := build()
-		if err != nil || a == nil || b == nil {
-			return a, b, err
+// wrapBuilder interposes fault wrappers on a stepper-team builder.
+func (f *FaultPlan) wrapBuilder(build func() ([]sim.Stepper, error)) func() ([]sim.Stepper, error) {
+	return func() ([]sim.Stepper, error) {
+		team, err := build()
+		if err != nil {
+			return team, err
 		}
-		return wrapFault(a), wrapFault(b), nil
+		for _, st := range team {
+			if st == nil {
+				// Leave a nil-bearing team untouched; the lane
+				// surfaces it as the trial's error.
+				return team, nil
+			}
+		}
+		for i, st := range team {
+			team[i] = wrapFault(st)
+		}
+		return team, nil
 	}
 }
 
@@ -172,8 +181,8 @@ func (f *FaultPlan) wrapBuilder(build func() (sim.Stepper, sim.Stepper, error)) 
 type faultHook struct{ plan *FaultPlan }
 
 func (h faultHook) PreArm(trial int) error { return h.plan.armError(trial) }
-func (h faultHook) PostArm(trial int, a, b sim.Stepper) {
-	h.plan.armSteppers(trial, a, b)
+func (h faultHook) PostArm(trial int, team []sim.Stepper) {
+	h.plan.armSteppers(trial, team)
 }
 
 // faultCarrier is how armSteppers reaches a wrapper regardless of

@@ -159,10 +159,12 @@ func (r *Reducer) mergeFrom(p *Reducer) {
 // same shape (and, Mean's rounding aside, the same bytes) as
 // Run/AggregateOutcomes.
 func (r *Reducer) Aggregate(b Batch) *Aggregate {
+	b = b.normalized()
 	agg := &Aggregate{
 		Algorithm: b.Algorithm,
 		Trials:    r.trials,
 		Seed:      b.Seed,
+		Scenario:  b.scenarioInfo(),
 		Met:       r.met,
 		Failures:  r.trials - r.met,
 		Errors:    r.errors,
@@ -217,6 +219,7 @@ func RunStreaming(ctx context.Context, b Batch) (*Aggregate, error) {
 // partial reducer can be checkpointed and later resumed (see
 // RunCheckpointed) or merged with a rerun of the uncovered ranges.
 func RunReduced(ctx context.Context, b Batch) (*Reducer, error) {
+	b = b.normalized()
 	spec, opts, err := b.prepare()
 	if err != nil {
 		return nil, err

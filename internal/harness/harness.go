@@ -94,6 +94,7 @@ func All() []Experiment {
 		{ID: "E10", Title: "Success probability of both algorithms", Claim: "both theorems hold w.h.p.; measured success rates under scaled constants", Run: runE10},
 		{ID: "E11", Title: "Complete graphs: Anderson–Weber consistency", Claim: "on K_n the generalized mechanism reproduces [6]'s Θ(√n) birthday behaviour", Run: runE11},
 		{ID: "E12", Title: "Theorem 1 across graph families", Claim: "the w.h.p. guarantee holds on every δ ≥ √n family, not just the scaling workload", Run: runE12},
+		{ID: "S1", Title: "Scenario layer: delayed wake-up and k-agent gathering", Claim: "wake delay τ costs at most O(τ) rounds; extra agents only speed up the first pairwise meeting", Run: runS1},
 		{ID: "A1", Title: "Ablation: two-step vs strict-only Construct", Claim: "§3.3: optimistic+strict beats the O((n/δ)²) strict-only strawman", Run: runA1},
 		{ID: "A2", Title: "Ablation: doubling δ-estimation overhead", Claim: "Cor. 2: removing min-degree knowledge costs only a constant factor", Run: runA2},
 	}

@@ -37,8 +37,8 @@ func TestTableRenderAndCSV(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("registry has %d experiments, want 14", len(all))
+	if len(all) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

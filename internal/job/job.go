@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"slices"
 	"strings"
 
 	"fnr/internal/algo"
@@ -38,6 +39,7 @@ import (
 	"fnr/internal/engine"
 	"fnr/internal/graph"
 	"fnr/internal/lower"
+	"fnr/internal/sim"
 )
 
 // DefaultStream is the PCG stream constant of the standard workload
@@ -234,6 +236,30 @@ type Spec struct {
 	Checkpoint      string `json:"checkpoint,omitempty"`
 	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
 	Resume          string `json:"resume,omitempty"`
+
+	// The optional scenario block — k-agent teams and delayed wake-ups
+	// (sim.Scenario). All four fields are appended with omitempty so a
+	// spec without them canonical-JSONs and hashes byte-identically to
+	// pre-scenario specs.
+	//
+	// Agents is the team size k (0 = the legacy two-agent setting;
+	// otherwise 2 ≤ k ≤ sim.MaxAgents). When Starts is empty, agents 0
+	// and 1 start at the materialized (or start_a/start_b) pair and
+	// agents 2..k-1 at extra vertices derived deterministically from
+	// (graph, pair, Seed) — distinct, non-isolated.
+	Agents int `json:"agents,omitempty"`
+	// Starts overrides every agent's start vertex (dense indices,
+	// pairwise distinct); its length is the team size. Mutually
+	// exclusive with start_a/start_b.
+	Starts []int `json:"starts,omitempty"`
+	// WakeDelays holds one wake delay per agent: the number of rounds
+	// the agent sleeps at its start vertex before its first action.
+	// Empty means every agent wakes at round 0.
+	WakeDelays []int64 `json:"wake_delays,omitempty"`
+	// Meet selects the meeting predicate: "" (or "all") = all k agents
+	// gathered at one vertex, "firstpair" = first co-location of any
+	// two agents.
+	Meet string `json:"meet,omitempty"`
 }
 
 // ExecOptions are the per-process execution knobs that never affect
@@ -246,7 +272,9 @@ type ExecOptions struct {
 
 // Normalize maps equivalent spellings to one canonical form: default
 // workload kind, Params "practical" → "", ShardCount ≤ 1 → unsharded
-// 0/0.
+// 0/0, Meet "all" → "", all-zero WakeDelays dropped, and a bare
+// Agents 2 (no starts, delays or predicate — observably the legacy
+// setting) cleared to 0.
 func (s Spec) Normalize() Spec {
 	if s.Workload != nil {
 		w := s.Workload.normalized()
@@ -258,7 +286,37 @@ func (s Spec) Normalize() Spec {
 	if s.ShardCount <= 1 {
 		s.ShardIndex, s.ShardCount = 0, 0
 	}
+	if s.Meet == "all" {
+		s.Meet = ""
+	}
+	if len(s.WakeDelays) > 0 && !slices.ContainsFunc(s.WakeDelays, func(d int64) bool { return d != 0 }) {
+		s.WakeDelays = nil
+	}
+	if s.Agents == 2 && len(s.Starts) == 0 && len(s.WakeDelays) == 0 && s.Meet == "" {
+		s.Agents = 0
+	}
 	return s
+}
+
+// hasScenario reports whether any scenario field survives
+// normalization — i.e. whether the spec lowers to a Batch with a
+// non-nil Scenario.
+func (s Spec) hasScenario() bool {
+	return s.Agents != 0 || len(s.Starts) > 0 || len(s.WakeDelays) > 0 || s.Meet != ""
+}
+
+// teamSize resolves the agent count: explicit Agents, else the length
+// of Starts or WakeDelays, else 2.
+func (s Spec) teamSize() int {
+	switch {
+	case s.Agents != 0:
+		return s.Agents
+	case len(s.Starts) > 0:
+		return len(s.Starts)
+	case len(s.WakeDelays) > 0:
+		return len(s.WakeDelays)
+	}
+	return 2
 }
 
 // Validate checks everything checkable without building the graph.
@@ -270,7 +328,8 @@ func (s Spec) Validate() error {
 	if s.Algorithm == "" {
 		return errors.New("job: spec has no algorithm")
 	}
-	if _, err := algo.Lookup(s.Algorithm); err != nil {
+	spec, err := algo.Lookup(s.Algorithm)
+	if err != nil {
 		return fmt.Errorf("job: %w", err)
 	}
 	switch {
@@ -299,6 +358,50 @@ func (s Spec) Validate() error {
 	}
 	if _, err := s.faultPlan(); err != nil {
 		return err
+	}
+	return s.validateScenario(spec)
+}
+
+// validateScenario checks the scenario block's internal consistency
+// and the algorithm's team support; vertex-range and engine-level
+// checks happen at lowering time against the materialized graph.
+func (s Spec) validateScenario(spec algo.Spec) error {
+	if !s.hasScenario() {
+		return nil
+	}
+	k := s.teamSize()
+	switch {
+	case k < 2:
+		return fmt.Errorf("job: a scenario needs at least 2 agents, got %d", k)
+	case k > sim.MaxAgents:
+		return fmt.Errorf("job: scenario has %d agents, limit is %d", k, sim.MaxAgents)
+	case len(s.Starts) > 0 && len(s.Starts) != k:
+		return fmt.Errorf("job: %d starts for %d agents", len(s.Starts), k)
+	case len(s.Starts) > 0 && (s.StartA != nil || s.StartB != nil):
+		return errors.New("job: starts and start_a/start_b are mutually exclusive")
+	case len(s.WakeDelays) > 0 && len(s.WakeDelays) != k:
+		return fmt.Errorf("job: %d wake delays for %d agents (want 0 or %d)", len(s.WakeDelays), k, k)
+	}
+	for i, v := range s.Starts {
+		if v < 0 {
+			return fmt.Errorf("job: agent %d start vertex %d is negative", i, v)
+		}
+		for j := range i {
+			if s.Starts[j] == v {
+				return fmt.Errorf("job: agents %d and %d both start at vertex %d", j, i, v)
+			}
+		}
+	}
+	for i, d := range s.WakeDelays {
+		if d < 0 {
+			return fmt.Errorf("job: agent %d wake delay %d is negative", i, d)
+		}
+	}
+	if s.Meet != "" && s.Meet != "firstpair" {
+		return fmt.Errorf("job: unknown meet predicate %q (want \"all\" or \"firstpair\")", s.Meet)
+	}
+	if k > 2 && !spec.SupportsTeam() {
+		return fmt.Errorf("job: algo %q does not support %d agents (two-agent strategy)", s.Algorithm, k)
 	}
 	return nil
 }
@@ -392,7 +495,7 @@ func (s Spec) Batch(m Materialized, opt ExecOptions) (engine.Batch, error) {
 	case delta < 0:
 		delta = 0
 	}
-	return engine.Batch{
+	b := engine.Batch{
 		Graph:      m.Graph,
 		StartA:     sa,
 		StartB:     sb,
@@ -407,7 +510,88 @@ func (s Spec) Batch(m Materialized, opt ExecOptions) (engine.Batch, error) {
 		ShardIndex: s.ShardIndex,
 		ShardCount: s.ShardCount,
 		Faults:     plan,
-	}, nil
+	}
+	if s.hasScenario() {
+		sc, err := s.scenario(m.Graph, sa, sb)
+		if err != nil {
+			return engine.Batch{}, err
+		}
+		b.Scenario = sc
+	}
+	return b, nil
+}
+
+// scenarioStream is the PCG stream constant of extra-start derivation
+// — its own stream so scenario starts are decorrelated from both the
+// workload draw (Workload.stream) and the per-trial seeds.
+const scenarioStream uint64 = 0x5ce7a2100
+
+// scenario lowers the spec's scenario block onto the materialized
+// graph and start pair.
+func (s Spec) scenario(g *graph.Graph, sa, sb graph.Vertex) (*sim.Scenario, error) {
+	k := s.teamSize()
+	sc := &sim.Scenario{MeetFirstPair: s.Meet == "firstpair"}
+	if len(s.Starts) > 0 {
+		sc.Starts = make([]graph.Vertex, len(s.Starts))
+		for i, v := range s.Starts {
+			sc.Starts[i] = graph.Vertex(v)
+		}
+	} else {
+		starts, err := deriveStarts(g, sa, sb, k, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sc.Starts = starts
+	}
+	if len(s.WakeDelays) > 0 {
+		sc.WakeDelays = slices.Clone(s.WakeDelays)
+	}
+	return sc, nil
+}
+
+// deriveStarts extends the two-agent start pair to a k-agent start
+// vector: agents 0 and 1 keep (sa, sb), agents 2..k-1 draw distinct
+// non-isolated vertices from PCG(seed, scenarioStream) — a pure
+// function of (graph, pair, seed), so graph_ref submissions and cache
+// hits derive the same vector as local materialization. Rejection
+// sampling is bounded; a crowded draw falls back to a deterministic
+// linear scan, so the derivation always terminates.
+func deriveStarts(g *graph.Graph, sa, sb graph.Vertex, k int, seed uint64) ([]graph.Vertex, error) {
+	starts := append(make([]graph.Vertex, 0, k), sa, sb)
+	if k <= 2 {
+		return starts, nil
+	}
+	if g == nil {
+		return nil, errors.New("job: cannot derive scenario starts without a graph")
+	}
+	n := g.N()
+	rng := rand.New(rand.NewPCG(seed, scenarioStream))
+	for len(starts) < k {
+		var v graph.Vertex
+		found := false
+		for range 64 {
+			c := graph.Vertex(rng.IntN(n))
+			if g.Degree(c) > 0 && !slices.Contains(starts, c) {
+				v, found = c, true
+				break
+			}
+		}
+		if !found {
+			off := rng.IntN(n)
+			for d := range n {
+				c := graph.Vertex((off + d) % n)
+				if g.Degree(c) > 0 && !slices.Contains(starts, c) {
+					v, found = c, true
+					break
+				}
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("job: graph has fewer than %d non-isolated vertices for a %d-agent scenario", k, k)
+		}
+		starts = append(starts, v)
+	}
+	return starts, nil
 }
 
 // Result is a finished (or cancelled-partway) job: the merged reducer

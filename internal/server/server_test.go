@@ -444,6 +444,68 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+// TestScenarioSubmitByteIdentical: a k-agent delayed-wakeup scenario
+// spec is a first-class daemon submission — the HTTP aggregate is
+// byte-identical to the same spec run in-process, it echoes the
+// resolved scenario (derived starts included), and a scenario a
+// pairwise algorithm cannot serve bounces with 400 at submit time,
+// before any queue slot is spent.
+func TestScenarioSubmitByteIdentical(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	spec := job.Spec{
+		Algorithm:  "walkpair",
+		Workload:   &job.Workload{Kind: "planted", N: 256, D: 16, Seed: 5},
+		Trials:     40,
+		Seed:       5,
+		MaxRounds:  1 << 16,
+		Agents:     3,
+		WakeDelays: []int64{0, 0, 128},
+		Meet:       "firstpair",
+	}
+	st, code, _ := postSpec(t, ts.URL, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("scenario submit status = %d", code)
+	}
+	final := pollUntil(t, ts.URL, st.ID, stateDone)
+	want := inProcessAggregate(t, spec)
+	if string(final.Aggregate) != string(want) {
+		t.Fatalf("HTTP scenario aggregate differs from the in-process run:\n%s\n%s", final.Aggregate, want)
+	}
+	for _, frag := range []string{`"scenario":{"agents":3`, `"wake_delays":[0,0,128]`, `"meet":"firstpair"`} {
+		if !strings.Contains(string(final.Aggregate), frag) {
+			t.Errorf("scenario aggregate missing %s:\n%s", frag, final.Aggregate)
+		}
+	}
+
+	// The two-agent strategies cannot serve k>2; validation rejects the
+	// submission outright.
+	bad := spec
+	bad.Algorithm = "whiteboard"
+	body, err := json.Marshal(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/batches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("k=3 whiteboard submit status = %d, want 400", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "does not support 3 agents") {
+		t.Fatalf("rejection error = %q, want a two-agent-strategy message", er.Error)
+	}
+}
+
 // TestMetricsSchema pins the exposition names the README documents.
 func TestMetricsSchema(t *testing.T) {
 	srv := New(Config{})

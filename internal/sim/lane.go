@@ -1,26 +1,29 @@
 package sim
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // TrialLane is the batch engine's lockstep scheduler: it keeps up to
 // W trials of the same configuration resident at once, stored as
 // parallel per-slot slices (struct-of-arrays), and advances every
 // resident trial by one runtime tick per sweep. A finished trial is
 // emitted and its slot immediately re-armed with the next trial of
-// the caller's range, so a worker's stepper pairs and per-slot
+// the caller's range, so a worker's stepper teams and per-slot
 // scratch (whiteboards, PCG state, walker tables) live for the whole
 // range instead of one trial:
 //
-//   - When both steppers implement Reusable, each slot builds its
-//     pair exactly once and Reset re-arms it per trial — the
-//     spec.Steppers builder cost is amortized away entirely.
-//   - Otherwise the pair is rebuilt (and the old one Finished) per
+//   - When every stepper of the team implements Reusable, each slot
+//     builds its team exactly once and Reset re-arms it per trial —
+//     the builder cost is amortized away entirely.
+//   - Otherwise the team is rebuilt (and the old one Finished) per
 //     trial, which is always correct, just slower.
 //
 // The lane never changes results: each resident trial owns a full
 // TrialContext (its own whiteboard array, random streams, scratch and
 // lockstep runtime), ticks are the same state transitions a solo
-// runSteppers performs, and trials are identified by index, so the
+// runTeam performs, and trials are identified by index, so the
 // lane width — like the engine's worker count — affects wall-clock
 // time and memory only. The engine's differential suite pins this.
 //
@@ -37,15 +40,15 @@ type TrialLane struct {
 	// engine's fault-injection seam.
 	Hook ArmHook
 
-	build    func() (Stepper, Stepper, error)
-	canReset bool // both steppers implement Reusable (set at first build)
+	build    func() ([]Stepper, error)
+	canReset bool // every stepper implements Reusable (set at build)
 
 	// Per-slot parallel state, indexed by lane slot: the resident
-	// trial (-1 = empty), the stepper pair, and the TrialContext
+	// trial (-1 = empty), the stepper team, and the TrialContext
 	// holding the slot's agent positions, round counters, PCG states
 	// and scratch. res is the slot's reusable result box.
 	trial    []int
-	steppers [][2]Stepper
+	steppers [][]Stepper
 	built    []bool
 	tcs      []*TrialContext
 	res      []Result
@@ -57,27 +60,44 @@ type TrialLane struct {
 // the slot is touched: a non-nil error skips the trial entirely and
 // surfaces as that trial's error outcome (how the engine injects
 // deterministic builder faults). PostArm runs after a successful arm
-// with the steppers that will execute the trial — the seam through
+// with the team that will execute the trial — the seam through
 // which per-trial fault state reaches stepper wrappers the lane built
-// once and re-arms many times. Hooks must be deterministic in the
+// once and re-arms many times. The team slice is the lane's; hooks
+// must not retain or mutate it. Hooks must be deterministic in the
 // trial index alone; the lane calls them from its Run loop only.
 type ArmHook interface {
 	PreArm(trial int) error
-	PostArm(trial int, a, b Stepper)
+	PostArm(trial int, team []Stepper)
 }
 
-// NewTrialLane returns a lane of the given width (clamped to ≥ 1)
-// over the given stepper builder. The lane owns the steppers it
+// NewTrialLane returns a lane of the given width over a pair-shaped
+// stepper builder — the historical two-agent constructor, now a thin
+// wrapper over NewTeamLane.
+func NewTrialLane(width int, build func() (Stepper, Stepper, error)) *TrialLane {
+	return NewTeamLane(width, func() ([]Stepper, error) {
+		a, b, err := build()
+		if err != nil {
+			Finish(a)
+			Finish(b)
+			return nil, err
+		}
+		return []Stepper{a, b}, nil
+	})
+}
+
+// NewTeamLane returns a lane of the given width (clamped to ≥ 1)
+// over the given team builder. The builder must return one stepper
+// per scenario agent, in team order; the lane owns the steppers it
 // builds: call Close when done with the lane to honor their Finish
 // lifecycle.
-func NewTrialLane(width int, build func() (Stepper, Stepper, error)) *TrialLane {
+func NewTeamLane(width int, build func() ([]Stepper, error)) *TrialLane {
 	if width < 1 {
 		width = 1
 	}
 	l := &TrialLane{
 		build:    build,
 		trial:    make([]int, width),
-		steppers: make([][2]Stepper, width),
+		steppers: make([][]Stepper, width),
 		built:    make([]bool, width),
 		tcs:      make([]*TrialContext, width),
 		res:      make([]Result, width),
@@ -155,7 +175,7 @@ func (l *TrialLane) Run(cfg Config, seedOf func(trial int) uint64, from, to int,
 // tickSlot advances slot s by one runtime tick, converting a stepper
 // panic into the trial's error and quarantining the slot: a panicking
 // Next may have left the slot's steppers and TrialContext scratch in
-// any state, so neither is ever re-armed — the pair is finished
+// any state, so neither is ever re-armed — the team is finished
 // (panic-tolerantly) and the context rebuilt fresh.
 func (l *TrialLane) tickSlot(s int) (done bool, err error) {
 	defer func() {
@@ -191,7 +211,7 @@ func (l *TrialLane) refill(s int, cfg Config, seedOf func(int) uint64, next, to 
 			continue
 		}
 		if l.Hook != nil {
-			l.Hook.PostArm(t, l.steppers[s][0], l.steppers[s][1])
+			l.Hook.PostArm(t, l.steppers[s])
 		}
 		l.trial[s] = t
 		l.live++
@@ -213,53 +233,71 @@ func (l *TrialLane) armSlot(s int, cfg Config, seed uint64) (err error) {
 }
 
 // quarantine abandons slot s's possibly-poisoned state after a panic:
-// the stepper pair is finished (tolerating Finish itself panicking)
+// the stepper team is finished (tolerating Finish itself panicking)
 // and never re-armed, and the slot's TrialContext — whiteboard array,
 // RNG state, agent scratch, runtime — is replaced wholesale, so
 // nothing a panicking trial touched can influence a later trial.
 func (l *TrialLane) quarantine(s int) {
 	if l.built[s] {
-		safeFinish(l.steppers[s][0])
-		safeFinish(l.steppers[s][1])
+		for i := len(l.steppers[s]) - 1; i >= 0; i-- {
+			safeFinish(l.steppers[s][i])
+		}
 	}
 	l.built[s] = false
-	l.steppers[s] = [2]Stepper{}
+	l.steppers[s] = nil
 	l.trial[s] = -1
 	l.tcs[s] = NewTrialContext()
 }
 
-// arm readies slot s for one trial: Reset the resident pair when the
+// arm readies slot s for one trial: Reset the resident team when the
 // reuse contract holds, rebuild it otherwise, then prime the slot's
 // TrialContext for the seeded run.
 func (l *TrialLane) arm(s int, cfg Config, seed uint64) error {
 	if l.built[s] && !l.canReset {
-		Finish(l.steppers[s][0])
-		Finish(l.steppers[s][1])
+		for i := len(l.steppers[s]) - 1; i >= 0; i-- {
+			Finish(l.steppers[s][i])
+		}
 		l.built[s] = false
 	}
 	reuse := l.built[s]
 	if !reuse {
-		a, b, err := l.build()
-		if err != nil || a == nil || b == nil {
-			Finish(a)
-			Finish(b)
-			if err == nil {
-				err = errors.New("sim: lane builder returned a nil stepper")
+		team, err := l.build()
+		if err == nil {
+			if len(team) == 0 {
+				err = errors.New("sim: lane builder returned an empty team")
+			}
+			for _, st := range team {
+				if st == nil {
+					err = errors.New("sim: lane builder returned a nil stepper")
+					break
+				}
+			}
+		}
+		if err != nil {
+			for i := len(team) - 1; i >= 0; i-- {
+				Finish(team[i])
 			}
 			return err
 		}
-		l.steppers[s] = [2]Stepper{a, b}
+		l.steppers[s] = team
 		l.built[s] = true
-		_, ra := a.(Reusable)
-		_, rb := b.(Reusable)
-		l.canReset = ra && rb
+		l.canReset = true
+		for _, st := range team {
+			if _, ok := st.(Reusable); !ok {
+				l.canReset = false
+				break
+			}
+		}
+	}
+	if got, want := len(l.steppers[s]), cfg.teamSize(); got != want {
+		return fmt.Errorf("sim: lane builder returned %d steppers for a %d-agent scenario", got, want)
 	}
 	cfg.Seed = seed
-	l.tcs[s].arm(cfg, l.steppers[s][0], l.steppers[s][1], reuse)
+	l.tcs[s].arm(cfg, l.steppers[s], reuse)
 	return nil
 }
 
-// Close finishes every built stepper pair and empties the lane. The
+// Close finishes every built stepper team and empties the lane. The
 // lane remains usable afterwards (slots rebuild on the next Run).
 // Teardown tolerates a Finish panic (a stopped run may leave slots
 // whose steppers were abandoned mid-trial).
@@ -268,10 +306,11 @@ func (l *TrialLane) Close() {
 		if !l.built[s] {
 			continue
 		}
-		safeFinish(l.steppers[s][0])
-		safeFinish(l.steppers[s][1])
+		for i := len(l.steppers[s]) - 1; i >= 0; i-- {
+			safeFinish(l.steppers[s][i])
+		}
 		l.built[s] = false
-		l.steppers[s] = [2]Stepper{}
+		l.steppers[s] = nil
 		l.trial[s] = -1
 	}
 	l.live = 0

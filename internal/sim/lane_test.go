@@ -67,7 +67,7 @@ func TestLaneMatchesSoloRuns(t *testing.T) {
 					if got[i] == nil {
 						t.Fatalf("trial %d never emitted", i)
 					}
-					if *got[i] != *want[i] {
+					if !resultsEqual(got[i], want[i]) {
 						t.Errorf("trial %d: lane %+v != solo %+v", i, *got[i], *want[i])
 					}
 				}
@@ -192,8 +192,8 @@ func (s *armedPanicStepper) Next(v *View) Action {
 type panicAtTrialHook struct{ target int }
 
 func (h panicAtTrialHook) PreArm(int) error { return nil }
-func (h panicAtTrialHook) PostArm(trial int, a, b Stepper) {
-	if p, ok := a.(*armedPanicStepper); ok {
+func (h panicAtTrialHook) PostArm(trial int, team []Stepper) {
+	if p, ok := team[0].(*armedPanicStepper); ok {
 		p.fire = trial == h.target
 	}
 }
@@ -251,7 +251,7 @@ func TestLanePanicQuarantinesSlot(t *testing.T) {
 			if got[i] == nil {
 				t.Fatalf("width=%d: trial %d never emitted", width, i)
 			}
-			if *got[i] != *want[i] {
+			if !resultsEqual(got[i], want[i]) {
 				t.Errorf("width=%d trial %d: post-panic lane %+v != solo %+v", width, i, *got[i], *want[i])
 			}
 		}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+
+	"fnr/internal/graph"
+)
+
+// Scenario generalizes the simulation beyond the paper's exact
+// setting of two agents waking simultaneously: k ≥ 2 agents, each
+// with its own start vertex and wake delay, and a choice of meeting
+// predicate. A nil Scenario on Config means the legacy two-agent
+// setting (StartA/StartB, no delays, rendezvous when both agents
+// co-locate) — the k=2, τ=0 special case of this type.
+//
+// Wake-delay semantics (the delayed/asynchronous wake-up model of
+// Miller–Pelc, arXiv:2311.12976): an agent with delay τᵢ consumes its
+// first τᵢ rounds waiting at its start vertex — the rounds count, the
+// agent's Stays grow, and it can be met while asleep (the meeting
+// check is positional) — and its first acting round is round τᵢ, so
+// its algorithm sees View.Round == τᵢ on the first Next call. A delay
+// of 0 reproduces the legacy behavior exactly.
+type Scenario struct {
+	// Starts holds one start vertex per agent; len(Starts) is the
+	// agent count k (2 ≤ k ≤ MaxAgents).
+	Starts []graph.Vertex
+	// WakeDelays holds one wake delay τᵢ ≥ 0 per agent, or is empty
+	// for all agents waking at round 0. When non-empty its length
+	// must equal len(Starts).
+	WakeDelays []int64
+	// MeetFirstPair switches the meeting predicate from all-k
+	// gathered at one vertex (the default, the k-agent gathering
+	// problem) to the first co-location of any two agents.
+	MeetFirstPair bool
+}
+
+// MaxAgents is the largest supported team size: agent identities are
+// AgentName (uint8) values, so a scenario can name at most 256 agents.
+const MaxAgents = 256
+
+// K returns the agent count.
+func (sc *Scenario) K() int { return len(sc.Starts) }
+
+// Delay returns agent i's wake delay (0 when WakeDelays is empty).
+func (sc *Scenario) Delay(i int) int64 {
+	if len(sc.WakeDelays) == 0 {
+		return 0
+	}
+	return sc.WakeDelays[i]
+}
+
+// Validate checks the scenario against an n-vertex graph: 2 ≤ k ≤
+// MaxAgents, every start in range, delays (when present) one per
+// agent and non-negative. Config.validate applies it automatically;
+// it is exported so the engine can fail a bad scenario before any
+// worker starts.
+func (sc *Scenario) Validate(n graph.Vertex) error {
+	k := sc.K()
+	if k < 2 {
+		return fmt.Errorf("sim: scenario needs at least 2 agents, got %d", k)
+	}
+	if k > MaxAgents {
+		return fmt.Errorf("sim: scenario has %d agents, limit is %d", k, MaxAgents)
+	}
+	for i, s := range sc.Starts {
+		if s < 0 || s >= n {
+			return fmt.Errorf("sim: agent %s start vertex %d out of range [0,%d)", AgentName(i), s, n)
+		}
+	}
+	if len(sc.WakeDelays) != 0 && len(sc.WakeDelays) != k {
+		return fmt.Errorf("sim: scenario has %d wake delays for %d agents (want 0 or %d)", len(sc.WakeDelays), k, k)
+	}
+	for i, d := range sc.WakeDelays {
+		if d < 0 {
+			return fmt.Errorf("sim: agent %s wake delay %d is negative", AgentName(i), d)
+		}
+	}
+	return nil
+}
+
+// LegacyPair returns the scenario's start pair when the scenario is
+// observably the legacy two-agent setting — k=2, every delay zero,
+// all-gather predicate. Such scenarios run byte-identically to a
+// Config carrying the same pair in StartA/StartB with a nil Scenario,
+// so callers (the batch engine) fold them away to keep checkpoint
+// identities and aggregates stable.
+func (sc *Scenario) LegacyPair() (a, b graph.Vertex, ok bool) {
+	if len(sc.Starts) != 2 || sc.MeetFirstPair {
+		return 0, 0, false
+	}
+	for _, d := range sc.WakeDelays {
+		if d != 0 {
+			return 0, 0, false
+		}
+	}
+	return sc.Starts[0], sc.Starts[1], true
+}
+
+// teamSize returns the number of agents cfg describes.
+func (cfg *Config) teamSize() int {
+	if cfg.Scenario != nil {
+		return cfg.Scenario.K()
+	}
+	return 2
+}
+
+// startOf returns agent i's start vertex.
+func (cfg *Config) startOf(i int) graph.Vertex {
+	if cfg.Scenario != nil {
+		return cfg.Scenario.Starts[i]
+	}
+	if i == 0 {
+		return cfg.StartA
+	}
+	return cfg.StartB
+}
+
+// delayOf returns agent i's wake delay.
+func (cfg *Config) delayOf(i int) int64 {
+	if cfg.Scenario != nil {
+		return cfg.Scenario.Delay(i)
+	}
+	return 0
+}

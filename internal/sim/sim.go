@@ -1,10 +1,13 @@
-// Package sim implements the synchronous two-agent mobile-agent
-// execution model of the paper "Fast Neighborhood Rendezvous" (§2.1):
-// discrete rounds; per round each agent either stays at its current
-// vertex or crosses one incident edge; local computation, whiteboard
-// access and neighbor-ID inspection are free within a round; rendezvous
-// completes at round t when both agents occupy the same vertex at the
-// beginning of round t.
+// Package sim implements the synchronous mobile-agent execution model
+// of the paper "Fast Neighborhood Rendezvous" (§2.1): discrete
+// rounds; per round each agent either stays at its current vertex or
+// crosses one incident edge; local computation, whiteboard access and
+// neighbor-ID inspection are free within a round; rendezvous
+// completes at round t when the agents occupy the same vertex at the
+// beginning of round t. The paper's setting — two agents waking
+// simultaneously — is the default; a Config.Scenario generalizes a
+// run to k ≥ 2 agents with per-agent wake delays and an all-gather or
+// first-pair meeting predicate (see Scenario).
 //
 // Agents come in two styles sharing one lockstep loop:
 //
@@ -31,22 +34,25 @@ import (
 	"fnr/internal/graph"
 )
 
-// AgentName identifies one of the two agents. The paper calls them a
-// and b and allows them to run different algorithms (asymmetry).
+// AgentName identifies one agent by team index. The paper calls its
+// two agents a and b and allows them to run different algorithms
+// (asymmetry); k-agent scenarios number agents 0..k-1 in the same
+// scheme.
 type AgentName uint8
 
-// The two agents.
+// The paper's two agents (team indices 0 and 1).
 const (
 	AgentA AgentName = iota
 	AgentB
 )
 
-// String returns "a" or "b".
+// String returns "a" for agent 0, "b" for agent 1, and so on through
+// "z"; agents past index 25 render as "agent26", "agent27", ….
 func (n AgentName) String() string {
-	if n == AgentA {
-		return "a"
+	if n < 26 {
+		return string(rune('a' + n))
 	}
-	return "b"
+	return fmt.Sprintf("agent%d", uint8(n))
 }
 
 // NoMark is the whiteboard content ⊥ (empty).
@@ -56,8 +62,15 @@ const NoMark int64 = math.MinInt64
 type Config struct {
 	// Graph is the static environment. Required.
 	Graph *graph.Graph
-	// StartA and StartB are the agents' initial vertices.
+	// StartA and StartB are the agents' initial vertices in the
+	// default two-agent setting. Ignored when Scenario is set.
 	StartA, StartB graph.Vertex
+	// Scenario, if non-nil, replaces the two-agent setting with a
+	// k-agent, delayed-wakeup one: per-agent starts and wake delays
+	// and the meeting predicate come from the scenario, and
+	// StartA/StartB are ignored. Team-shaped entry points (RunTeam)
+	// require exactly K() steppers; nil means the legacy pair.
+	Scenario *Scenario
 	// NeighborIDs enables the KT1-style accessible port numbering:
 	// agents see the IDs of their current vertex's neighbors. When
 	// false (KT0), ports are bare indices and views carry no IDs.
@@ -114,10 +127,28 @@ type Result struct {
 	// Rounds is the number of rounds executed (equals MeetRound when
 	// Met, and MaxRounds or the both-halted round otherwise).
 	Rounds int64
-	// Per-agent statistics.
+	// A and B are the first two agents' statistics — always filled,
+	// at every team size.
 	A, B AgentStats
-	// Writes counts committed whiteboard writes (both agents).
+	// Agents holds every agent's statistics (including agents 0 and
+	// 1) when the run had more than two agents; nil on two-agent
+	// runs. Like the Result itself on the lane path, the slice is a
+	// reusable per-slot buffer — copy what must be retained.
+	Agents []AgentStats
+	// Writes counts committed whiteboard writes (all agents).
 	Writes int64
+}
+
+// TotalMoves sums edge traversals over every agent of the run.
+func (r *Result) TotalMoves() int64 {
+	if r.Agents == nil {
+		return r.A.Moves + r.B.Moves
+	}
+	var total int64
+	for i := range r.Agents {
+		total += r.Agents[i].Moves
+	}
+	return total
 }
 
 // AgentStats aggregates one agent's activity.
@@ -151,26 +182,35 @@ func Run(cfg Config, progA, progB Program) (*Result, error) {
 	if progB != nil {
 		sb = newChanProgramStepper(progB)
 	}
-	return runSteppers(cfg, NewTrialContext(), sa, sb)
+	return runTeam(cfg, NewTrialContext(), []Stepper{sa, sb})
 }
 
-// runSteppers is the single lockstep entry point behind Run and
-// RunSteppers: validate, wire the agents to tc's scratch, loop.
-func runSteppers(cfg Config, tc *TrialContext, stA, stB Stepper) (*Result, error) {
+// runTeam is the single lockstep entry point behind Run, RunSteppers
+// and RunTeam: validate, wire the agents to tc's scratch, loop.
+func runTeam(cfg Config, tc *TrialContext, team []Stepper) (*Result, error) {
 	// Lifecycle guarantee first, before any validation return: every
 	// stepper handed to a run gets its Finish hook on every exit path,
 	// so adapter goroutines/coroutines never outlive the run (or touch
 	// tc's buffers after they are handed to the next trial). See
-	// Finisher.
-	defer Finish(stA)
-	defer Finish(stB)
+	// Finisher. Finish order is reverse team order, matching the
+	// stacked defers of the historical two-agent path.
+	defer func() {
+		for i := len(team) - 1; i >= 0; i-- {
+			Finish(team[i])
+		}
+	}()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if stA == nil || stB == nil {
-		return nil, errors.New("sim: nil agent (program or stepper)")
+	for _, st := range team {
+		if st == nil {
+			return nil, errors.New("sim: nil agent (program or stepper)")
+		}
 	}
-	tc.arm(cfg, stA, stB, false)
+	if len(team) != cfg.teamSize() {
+		return nil, fmt.Errorf("sim: %d steppers for a %d-agent scenario", len(team), cfg.teamSize())
+	}
+	tc.arm(cfg, team, false)
 	return tc.rt.run()
 }
 
@@ -181,6 +221,9 @@ func (cfg *Config) validate() error {
 		return errors.New("sim: nil graph")
 	}
 	n := graph.Vertex(cfg.Graph.N())
+	if sc := cfg.Scenario; sc != nil {
+		return sc.Validate(n)
+	}
 	if cfg.StartA < 0 || cfg.StartA >= n || cfg.StartB < 0 || cfg.StartB >= n {
 		return fmt.Errorf("sim: start vertices (%d, %d) out of range [0,%d)", cfg.StartA, cfg.StartB, n)
 	}
@@ -188,13 +231,14 @@ func (cfg *Config) validate() error {
 }
 
 // arm primes tc for one run of cfg: reset the lockstep runtime in
-// place, re-arm the whiteboard array, reseed both agents' private
-// streams, and hand each stepper its run context — Init for a freshly
-// built pair, Reset for a reused one (reuse=true requires both
-// steppers to implement Reusable). The caller has validated cfg and
-// the steppers. The runtime lives on the trial context: one wholesale
-// reset per run instead of one allocation per trial.
-func (tc *TrialContext) arm(cfg Config, stA, stB Stepper, reuse bool) {
+// place, re-arm the whiteboard array, reseed every agent's private
+// stream, and hand each stepper its run context — Init for a freshly
+// built team, Reset for a reused one (reuse=true requires every
+// stepper to implement Reusable). The caller has validated cfg and
+// the steppers, and len(team) == cfg.teamSize(). The runtime and the
+// per-agent state live on the trial context: one wholesale reset per
+// run instead of one allocation per trial.
+func (tc *TrialContext) arm(cfg Config, team []Stepper, reuse bool) {
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds(cfg.Graph)
@@ -203,34 +247,39 @@ func (tc *TrialContext) arm(cfg Config, stA, stB Stepper, reuse bool) {
 	if seed == 0 {
 		seed = 1
 	}
+	k := len(team)
+	tc.ensureAgents(k)
 	rt := &tc.rt
 	*rt = runtime{
-		g:           cfg.Graph,
-		kt1:         cfg.NeighborIDs,
-		whiteboards: cfg.Whiteboards,
-		maxRounds:   maxRounds,
-		observer:    cfg.Observer,
-		noMeeting:   cfg.DisableMeeting,
-		meetFrom:    cfg.MeetingFromRound,
+		g:             cfg.Graph,
+		kt1:           cfg.NeighborIDs,
+		whiteboards:   cfg.Whiteboards,
+		maxRounds:     maxRounds,
+		observer:      cfg.Observer,
+		noMeeting:     cfg.DisableMeeting,
+		meetFrom:      cfg.MeetingFromRound,
+		meetFirstPair: cfg.Scenario != nil && cfg.Scenario.MeetFirstPair,
 	}
 	if cfg.Whiteboards {
 		rt.boards = tc.boardsFor(cfg.Graph.N())
 	}
-	starts := [2]graph.Vertex{cfg.StartA, cfg.StartB}
-	streams := [2]uint64{0xA, 0xB}
-	for i, st := range [2]Stepper{stA, stB} {
+	rt.agents = tc.agents[:k]
+	for i, st := range team {
 		ag := &rt.agents[i]
-		ag.name = AgentName(i)
-		ag.st = st
-		ag.pos = starts[i]
-		ag.moveTo = graph.NilVertex
+		*ag = agentState{
+			name:    AgentName(i),
+			st:      st,
+			pos:     cfg.startOf(i),
+			moveTo:  graph.NilVertex,
+			waiting: cfg.delayOf(i),
+		}
 		ctx := &tc.stepCtx[i]
 		*ctx = StepContext{
 			Name:        ag.name,
 			NPrime:      cfg.Graph.NPrime(),
 			NeighborIDs: cfg.NeighborIDs,
 			Whiteboards: cfg.Whiteboards,
-			Rand:        tc.randFor(i, seed, streams[i]),
+			Rand:        tc.randFor(i, seed, 0xA+uint64(i)),
 			Scratch:     &tc.scratch[i],
 			GraphStamp:  cfg.Graph.Stamp(),
 		}
@@ -242,19 +291,23 @@ func (tc *TrialContext) arm(cfg Config, stA, stB Stepper, reuse bool) {
 	}
 }
 
-// runtime is the per-run lockstep engine.
+// runtime is the per-run lockstep engine. agents aliases the owning
+// TrialContext's per-agent buffer (see TrialContext.ensureAgents), so
+// resetting the runtime wholesale per trial stays allocation-free at
+// any team size.
 type runtime struct {
-	g           *graph.Graph
-	kt1         bool
-	whiteboards bool
-	boards      []int64
-	maxRounds   int64
-	observer    func(RoundEvent)
-	noMeeting   bool
-	meetFrom    int64
-	round       int64
-	writes      int64
-	agents      [2]agentState
+	g             *graph.Graph
+	kt1           bool
+	whiteboards   bool
+	boards        []int64
+	maxRounds     int64
+	observer      func(RoundEvent)
+	noMeeting     bool
+	meetFrom      int64
+	meetFirstPair bool
+	round         int64
+	writes        int64
+	agents        []agentState
 }
 
 // agentState is the runtime-side state of one agent.
@@ -292,20 +345,28 @@ func (rt *runtime) run() (*Result, error) {
 // scheduler (TrialLane) can interleave many resident trials one tick
 // at a time with semantics identical to a solo run.
 func (rt *runtime) tick(out *Result) (done bool, err error) {
-	a, b := &rt.agents[0], &rt.agents[1]
-	// Rendezvous check at the beginning of the round.
-	if a.pos == b.pos && !rt.noMeeting && rt.round >= rt.meetFrom {
-		rt.fill(out)
-		out.Met = true
-		out.MeetRound = rt.round
-		out.MeetVertex = a.pos
-		return true, nil
+	// Meeting check at the beginning of the round.
+	if !rt.noMeeting && rt.round >= rt.meetFrom {
+		if v, met := rt.met(); met {
+			rt.fill(out)
+			out.Met = true
+			out.MeetRound = rt.round
+			out.MeetVertex = v
+			return true, nil
+		}
 	}
 	if rt.round >= rt.maxRounds {
 		rt.fill(out)
 		return true, nil
 	}
-	if a.halted && b.halted {
+	allHalted := true
+	for i := range rt.agents {
+		if !rt.agents[i].halted {
+			allHalted = false
+			break
+		}
+	}
+	if allHalted {
 		rt.fill(out)
 		return true, nil
 	}
@@ -342,11 +403,12 @@ func (rt *runtime) tick(out *Result) (done bool, err error) {
 			return true, fmt.Errorf("sim: agent %s: %w", d.name, err)
 		}
 	}
-	// Commit whiteboard writes in agent order. When the agents
-	// occupy the same vertex (possible under DisableMeeting or
-	// before MeetingFromRound) and both wrote this round, agent
-	// b's value wins — last-writer-wins in (a, b) order is a
-	// documented guarantee, and both writes still count.
+	// Commit whiteboard writes in agent order. When agents occupy
+	// the same vertex (possible under DisableMeeting or before
+	// MeetingFromRound) and several wrote this round, the
+	// highest-indexed agent's value wins — last-writer-wins in team
+	// order (b over a in the paper's pair) is a documented
+	// guarantee, and every write still counts.
 	for i := range rt.agents {
 		d := &rt.agents[i]
 		if d.pendingWrite {
@@ -414,6 +476,31 @@ func (rt *runtime) step(d *agentState) error {
 	return nil
 }
 
+// met evaluates the meeting predicate at the beginning of a round:
+// all agents gathered at one vertex by default, or any two agents
+// co-located under the first-pair predicate (the two coincide at
+// k=2). It returns the meeting vertex when the predicate holds.
+func (rt *runtime) met() (graph.Vertex, bool) {
+	ags := rt.agents
+	if !rt.meetFirstPair || len(ags) == 2 {
+		p := ags[0].pos
+		for i := 1; i < len(ags); i++ {
+			if ags[i].pos != p {
+				return graph.NilVertex, false
+			}
+		}
+		return p, true
+	}
+	for i := range ags {
+		for j := i + 1; j < len(ags); j++ {
+			if ags[i].pos == ags[j].pos {
+				return ags[i].pos, true
+			}
+		}
+	}
+	return graph.NilVertex, false
+}
+
 // skippable returns the largest number of rounds that can elapse with no
 // agent needing to act (minimum of live agents' remaining waits; halted
 // agents never act). Returns 0 if some live agent must act now.
@@ -451,13 +538,22 @@ func (rt *runtime) observe(skipped int64) {
 // fill overwrites out with the run's final statistics (the caller
 // sets the Met fields when the run ended in a rendezvous). Writing
 // into a caller-provided box lets the lane path reuse one Result per
-// slot instead of allocating one per trial.
+// slot instead of allocating one per trial; on k>2 runs the box's
+// Agents slice is reused the same way.
 func (rt *runtime) fill(out *Result) {
 	a, b := &rt.agents[0], &rt.agents[1]
+	agents := out.Agents[:0]
 	*out = Result{
 		Rounds: rt.round,
 		A:      AgentStats{Moves: a.moves, Stays: a.stays, Halted: a.halted},
 		B:      AgentStats{Moves: b.moves, Stays: b.stays, Halted: b.halted},
 		Writes: rt.writes,
+	}
+	if len(rt.agents) > 2 {
+		for i := range rt.agents {
+			d := &rt.agents[i]
+			agents = append(agents, AgentStats{Moves: d.moves, Stays: d.stays, Halted: d.halted})
+		}
+		out.Agents = agents
 	}
 }

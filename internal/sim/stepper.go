@@ -198,8 +198,8 @@ func (a Action) WithWrite(val int64) Action {
 // Init(ctx) — callable from any prior state, including mid-run
 // abandonment and aborts. Implementations may keep grown buffers
 // (capacity reuse must never influence results — the same contract as
-// AgentScratch). When either stepper of a pair does not implement
-// Reusable, the lane rebuilds (and Finishes) the pair for every
+// AgentScratch). When any stepper of a team does not implement
+// Reusable, the lane rebuilds (and Finishes) the whole team for every
 // trial, which is always correct, just slower. The native paper
 // steppers and all five baselines implement it.
 type Reusable interface {
@@ -229,33 +229,57 @@ func Finish(s Stepper) {
 }
 
 // TrialContext owns the per-trial scratch of the stepper fast path —
-// the whiteboard array, both agents' PCG state, and one opaque
+// the whiteboard array, every agent's PCG state, and one opaque
 // AgentScratch slot per agent for algorithm-side reuse — so that a
 // worker running many trials in sequence allocates (almost) nothing
-// per trial. A TrialContext is not safe for concurrent use; give each
+// per trial. The per-agent buffers grow on demand to the largest team
+// the context has run (ensureAgents) and then stay warm, so k-agent
+// scenarios are as allocation-free per trial as the two-agent
+// default. A TrialContext is not safe for concurrent use; give each
 // worker goroutine its own.
 type TrialContext struct {
 	boards  []int64
-	pcg     [2]*rand.PCG
-	rand    [2]*rand.Rand
-	scratch [2]AgentScratch // per-agent algorithm scratch (see AgentScratch)
+	pcg     []*rand.PCG
+	rand    []*rand.Rand
+	scratch []AgentScratch // per-agent algorithm scratch (see AgentScratch)
+	agents  []agentState   // backing for runtime.agents
+	teamBuf []Stepper      // reusable team slice for the pair-shaped entry points
 	// rt is the reusable lockstep engine and stepCtx the per-agent
-	// Init contexts: runSteppers resets both wholesale at the start of
+	// Init contexts: runTeam resets both wholesale at the start of
 	// every run, so the per-trial runtime state costs no allocation on
 	// a warm context (StepContext escapes through the Stepper
 	// interface and would otherwise be a per-trial heap box).
 	rt      runtime
-	stepCtx [2]StepContext
+	stepCtx []StepContext
 }
 
-// NewTrialContext returns an empty reusable trial context.
+// NewTrialContext returns an empty reusable trial context, pre-sized
+// for the default two-agent team.
 func NewTrialContext() *TrialContext {
 	tc := &TrialContext{}
-	for i := range tc.pcg {
-		tc.pcg[i] = rand.NewPCG(0, 0)
-		tc.rand[i] = rand.New(tc.pcg[i])
-	}
+	tc.ensureAgents(2)
 	return tc
+}
+
+// ensureAgents grows the per-agent buffers to hold k agents,
+// preserving existing contents (parked AgentScratch values survive
+// growth). Growth happens at arm time only, so pointers handed to
+// steppers stay valid for the duration of their run.
+func (tc *TrialContext) ensureAgents(k int) {
+	for len(tc.pcg) < k {
+		p := rand.NewPCG(0, 0)
+		tc.pcg = append(tc.pcg, p)
+		tc.rand = append(tc.rand, rand.New(p))
+	}
+	for len(tc.scratch) < k {
+		tc.scratch = append(tc.scratch, AgentScratch{})
+	}
+	for len(tc.stepCtx) < k {
+		tc.stepCtx = append(tc.stepCtx, StepContext{})
+	}
+	for len(tc.agents) < k {
+		tc.agents = append(tc.agents, agentState{})
+	}
 }
 
 // boardsFor returns the whiteboard array reset to n empty boards,
@@ -285,12 +309,28 @@ func (tc *TrialContext) randFor(i int, seed, stream uint64) *rand.Rand {
 // the goroutine-free counterpart of Run, reusing tc's scratch. It
 // returns an error for invalid configurations or if a stepper aborts.
 func (tc *TrialContext) RunSteppers(cfg Config, a, b Stepper) (*Result, error) {
-	return runSteppers(cfg, tc, a, b)
+	tc.teamBuf = append(tc.teamBuf[:0], a, b)
+	return runTeam(cfg, tc, tc.teamBuf)
 }
 
 // RunSteppers executes two stepper agents with fresh scratch. Callers
 // running many trials should hold a TrialContext and use its
 // RunSteppers method instead.
 func RunSteppers(cfg Config, a, b Stepper) (*Result, error) {
-	return runSteppers(cfg, NewTrialContext(), a, b)
+	return NewTrialContext().RunSteppers(cfg, a, b)
+}
+
+// RunTeam executes a team of stepper agents — one per scenario agent,
+// in team order — reusing tc's scratch. cfg.Scenario sizes the team
+// (a nil scenario means the two-agent default, so len(team) must be
+// 2). Semantics otherwise match RunSteppers.
+func (tc *TrialContext) RunTeam(cfg Config, team []Stepper) (*Result, error) {
+	return runTeam(cfg, tc, team)
+}
+
+// RunTeam executes a team of stepper agents with fresh scratch.
+// Callers running many trials should hold a TrialContext and use its
+// RunTeam method instead.
+func RunTeam(cfg Config, team []Stepper) (*Result, error) {
+	return runTeam(cfg, NewTrialContext(), team)
 }
